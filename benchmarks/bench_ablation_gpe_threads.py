@@ -1,0 +1,39 @@
+"""Ablation: GPE software multithreading (DESIGN.md section 5).
+
+The GPE hides memory latency by context-switching (in one cycle) between
+a pool of software threads.  Shrinking the pool to one thread exposes
+every memory round trip on the critical path.
+"""
+
+import dataclasses
+
+from repro.accel import CPU_ISO_BW
+from repro.eval.accelerator import _compiled_program
+from repro.runtime import simulate
+
+
+def config_with_threads(threads: int):
+    tile = dataclasses.replace(CPU_ISO_BW.tile, gpe_threads=threads)
+    return dataclasses.replace(
+        CPU_ISO_BW, name=f"CPU iso-BW ({threads} threads)", tile=tile
+    )
+
+
+def test_bench_gpe_threads(benchmark):
+    program = _compiled_program("gcn-cora")
+
+    def run():
+        return {
+            threads: simulate(program, config_with_threads(threads))
+            for threads in (1, 4, 16)
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nGPE thread-pool ablation (GCN Cora, CPU iso-BW):")
+    for threads, report in reports.items():
+        print(f"  {threads:2d} threads: {report.latency_ms:.3f} ms")
+    # More threads hide more memory latency.
+    assert reports[1].latency_ns > reports[4].latency_ns
+    assert reports[4].latency_ns >= reports[16].latency_ns
+    # A single thread serializes round trips: at least 2x slower.
+    assert reports[1].latency_ns > 2 * reports[16].latency_ns

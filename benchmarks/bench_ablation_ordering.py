@@ -1,0 +1,64 @@
+"""Ablation: vertex numbering x placement (extension).
+
+Vertex ids drive both the Algorithm 1 queue order and the placement
+interleave, so renumbering the graph is a free scheduling knob.  This
+ablation renumbers Pubmed three ways and runs GCN on the 8-tile mesh:
+
+* natural ids + round-robin (the default),
+* degree-descending ids + round-robin (hubs spread first),
+* BFS ids + range blocks (neighbourhoods co-located per tile).
+"""
+
+from repro.accel import (
+    Accelerator,
+    GPU_ISO_BW,
+    RangePlacement,
+    RoundRobinPlacement,
+)
+from repro.graphs import bfs_order, degree_order, pubmed, relabel
+from repro.models import Benchmark, benchmark_model
+from repro.runtime import compile_model
+from repro.runtime.engine import RuntimeEngine
+
+
+def run_variant(graph, placement):
+    model = benchmark_model(Benchmark("GCN", "pubmed"))
+    program = compile_model(model, graph)
+    accel = Accelerator(GPU_ISO_BW, placement=placement)
+    return RuntimeEngine(accel).run(program)
+
+
+def test_bench_ordering(benchmark):
+    graph = pubmed()
+    round_robin = RoundRobinPlacement(num_tiles=8, num_memories=8)
+
+    def run():
+        return {
+            "natural+rr": run_variant(graph, round_robin),
+            "degree+rr": run_variant(
+                relabel(graph, degree_order(graph)), round_robin
+            ),
+            "bfs+range": run_variant(
+                relabel(graph, bfs_order(graph)),
+                RangePlacement(
+                    num_vertices=graph.num_nodes, num_tiles=8,
+                    num_memories=8,
+                ),
+            ),
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nVertex ordering ablation (GCN Pubmed, GPU iso-BW):")
+    for name, report in reports.items():
+        print(f"  {name:12s}: {report.latency_ms:.3f} ms "
+              f"(peak NoC link {report.noc_peak_link_utilization:.0%})")
+    # Renumbering must not change correctness-level totals drastically:
+    # all variants land in the same performance regime.
+    latencies = [r.latency_ns for r in reports.values()]
+    assert max(latencies) < 2.5 * min(latencies)
+    # Round-robin soaks up the power-law hub imbalance at least as well
+    # as contiguous blocks.
+    assert (
+        reports["natural+rr"].latency_ns
+        <= 1.2 * reports["bfs+range"].latency_ns
+    )

@@ -1,0 +1,45 @@
+"""Ablation: tile-count scaling beyond Table VI (DESIGN.md section 5).
+
+Sweeps 1/2/4/8 tile+memory pairs (each pair adds 68 GBps and 198 ALUs)
+on GCN Pubmed, the largest single-graph benchmark, and reports scaling
+efficiency.
+"""
+
+from repro.accel import AcceleratorConfig
+from repro.eval.accelerator import _compiled_program
+from repro.runtime import simulate
+
+
+def paired_config(pairs: int) -> AcceleratorConfig:
+    """``pairs`` adjacent tile+memory columns stacked vertically."""
+    return AcceleratorConfig(
+        name=f"{pairs}-pair",
+        mesh_width=2,
+        mesh_height=pairs,
+        tile_coords=tuple((1, y) for y in range(pairs)),
+        memory_coords=tuple((0, y) for y in range(pairs)),
+    )
+
+
+def test_bench_tile_scaling(benchmark):
+    program = _compiled_program("gcn-pubmed")
+
+    def run():
+        return {
+            pairs: simulate(program, paired_config(pairs))
+            for pairs in (1, 2, 4, 8)
+        }
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    base = reports[1].latency_ns
+    print("\nTile scaling ablation (GCN Pubmed):")
+    for pairs, report in reports.items():
+        scaling = base / report.latency_ns
+        print(
+            f"  {pairs} tile(s): {report.latency_ms:.3f} ms "
+            f"({scaling:.2f}x, {scaling / pairs:.0%} efficiency)"
+        )
+    # Monotone improvement with reasonable efficiency at 8 tiles.
+    latencies = [reports[p].latency_ns for p in (1, 2, 4, 8)]
+    assert latencies == sorted(latencies, reverse=True)
+    assert base / reports[8].latency_ns > 3.0

@@ -1,0 +1,49 @@
+"""Ablation: virtual channels (extension to the Table IV router).
+
+Table IV gives a single 4-flit input buffer per port; this ablation adds
+VC lanes and measures the classic head-of-line-blocking relief under
+uniform-random load on the flit-level model.
+"""
+
+from repro.eval.report import format_table
+from repro.noc import NocConfig
+from repro.noc.traffic import run_load_point, uniform_random
+
+LOADS = (0.1, 0.25, 0.35)
+VC_COUNTS = (1, 2, 4)
+
+
+def test_bench_virtual_channels(benchmark):
+    def sweep():
+        results = {}
+        for vcs in VC_COUNTS:
+            config = NocConfig(num_vcs=vcs)
+            results[vcs] = [
+                run_load_point(
+                    4, 4, uniform_random, rate, config=config,
+                    warmup_cycles=100, measure_cycles=400,
+                )
+                for rate in LOADS
+            ]
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    rows = []
+    for vcs, points in results.items():
+        rows.append([f"{vcs} VC"] + [p["mean_latency"] for p in points])
+    print(
+        format_table(
+            ["Channels"] + [f"load {rate}" for rate in LOADS],
+            rows,
+            title="Mean packet latency (cycles), uniform random on 4x4",
+        )
+    )
+    # Near saturation, adding one VC at least halves latency; low load is
+    # untouched.
+    latency = {
+        vcs: {rate: p["mean_latency"] for rate, p in zip(LOADS, points)}
+        for vcs, points in results.items()
+    }
+    assert latency[2][0.35] < 0.5 * latency[1][0.35]
+    assert latency[4][0.1] < 1.1 * latency[1][0.1]

@@ -1,0 +1,40 @@
+"""Tables I, III, IV, VI and Figure 9: configuration artifacts.
+
+These are generated from the live configuration objects; the benchmark
+asserts every cell against the paper.
+"""
+
+from repro.eval.report import format_table
+from repro.eval.tables import figure9, table1, table3, table4, table6
+
+
+def test_bench_config_tables(benchmark):
+    def build():
+        return table1(), table3(), table4(), table6(), figure9()
+
+    t1, t3, t4, t6, f9 = benchmark(build)
+    print()
+    print(format_table(["Parameter", "Value"], t1, title="Table I"))
+    print()
+    print(format_table(["Parameter", "Value"], t3, title="Table III"))
+    print()
+    print(format_table(["Parameter", "Value"], t4, title="Table IV"))
+    print()
+    print(
+        format_table(
+            ["Configuration", "Tiles", "Mem. Nodes", "ALUs", "Mem. BW"],
+            t6,
+            title="Table VI",
+        )
+    )
+    for name, rows in f9.items():
+        print(f"\nFigure 9 — {name}:")
+        for row in rows:
+            print("  " + row)
+
+    assert dict(t1)["Number of PEs"] == "182"
+    assert dict(t4)["Input buffers"] == "4 flits, 256B"
+    table6_rows = {r[0]: r[1:] for r in t6}
+    assert table6_rows["CPU iso-BW"] == (1, 1, 198, 68.0)
+    assert table6_rows["GPU iso-BW"] == (8, 8, 1584, 544.0)
+    assert table6_rows["GPU iso-FLOPS"] == (16, 8, 3168, 544.0)

@@ -1,0 +1,45 @@
+"""Energy extension: per-benchmark energy vs the Table III baselines.
+
+Not a paper artifact (the paper motivates with energy but evaluates only
+latency); this regenerates the energy table the design implies.  MPNN is
+excluded to keep the bench under ten seconds — run
+``examples/reproduce_paper.py`` flows for the full set.
+"""
+
+from repro.eval.energy import energy_table
+from repro.eval.report import format_table
+
+
+def test_bench_energy(benchmark):
+    rows = benchmark.pedantic(
+        lambda: energy_table("CPU iso-BW", 2.4), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["Benchmark", "Accel (uJ)", "dominant", "CPU (uJ)", "GPU (uJ)",
+             "vs CPU", "vs GPU"],
+            [
+                (r.benchmark, r.accel_uj, r.dominant, r.cpu_baseline_uj,
+                 r.gpu_baseline_uj, f"{r.vs_cpu:.0f}x", f"{r.vs_gpu:.0f}x")
+                for r in rows
+            ],
+            title="Energy (extension): CPU iso-BW @ 2.4 GHz",
+        )
+    )
+    by_key = {r.benchmark: r for r in rows}
+    # The accelerator wins on energy everywhere, including PGNN (it loses
+    # on latency there, but a GPE burning instructions still draws far
+    # less than a 120 W socket).
+    for row in rows:
+        assert row.vs_cpu > 10
+        assert row.vs_gpu > 10
+    # Memory traffic dominates the bandwidth-bound GCN runs — and even
+    # MPNN: the per-step re-reads of the edge matrices cost more energy
+    # than the 18 GMAC of compute they feed.
+    assert by_key["gcn-cora"].dominant == "dram"
+    assert by_key["mpnn-qm9_1000"].dominant == "dram"
+    # But MPNN spends a far larger *share* on the DNA than GCN does.
+    mpnn = by_key["mpnn-qm9_1000"].breakdown
+    gcn = by_key["gcn-cora"].breakdown
+    assert mpnn.dna_uj / mpnn.total_uj > 1.5 * gcn.dna_uj / gcn.total_uj

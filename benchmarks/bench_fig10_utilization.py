@@ -1,0 +1,43 @@
+"""Figure 10: observed mean memory bandwidth and DNA utilization of all
+benchmarks in the CPU iso-bandwidth configuration.
+
+The paper's observations encoded as assertions: GCN sustains a large
+fraction of the 68 GBps (with Cora > Pubmed), GAT/MPNN load the DNA
+heavily, and PGNN shows almost no DNA utilization because the GPE is the
+bottleneck (Section VI-A).
+"""
+
+from repro.eval.report import format_table
+from repro.eval.utilization import figure10
+
+
+def test_bench_fig10(benchmark, fresh_simulations):
+    rows = benchmark.pedantic(figure10, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["Benchmark", "Mean BW (GB/s)", "BW util", "DNA util",
+             "GPE util"],
+            [
+                (r.benchmark, r.mean_bandwidth_gbps,
+                 r.bandwidth_utilization, r.dna_utilization,
+                 r.gpe_utilization)
+                for r in rows
+            ],
+            title="Figure 10: CPU iso-BW utilizations @ 2.4 GHz",
+        )
+    )
+    by_key = {r.benchmark: r for r in rows}
+    # GCN: healthy bandwidth utilization, ordered Cora > Pubmed.
+    assert by_key["gcn-cora"].bandwidth_utilization > 0.4
+    assert (
+        by_key["gcn-cora"].bandwidth_utilization
+        > by_key["gcn-pubmed"].bandwidth_utilization
+    )
+    # GAT and MPNN have the most computation executing on the DNA.
+    assert by_key["gat-cora"].dna_utilization > 0.5
+    assert by_key["mpnn-qm9_1000"].dna_utilization > 0.5
+    # PGNN: "very little DNA utilization ... the GPE becomes the
+    # bottleneck".
+    assert by_key["pgnn-dblp_1"].dna_utilization < 0.02
+    assert by_key["pgnn-dblp_1"].gpe_utilization > 0.9

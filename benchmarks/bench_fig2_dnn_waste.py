@@ -1,0 +1,44 @@
+"""Figure 2: off-chip bandwidth and PE utilization, total vs useful.
+
+Only nonzero entries of the adjacency operand count as useful.  The
+paper's headline: for Pubmed only ~1% of memory requests and ~2% of the
+compute are useful.
+"""
+
+from repro.eval.report import format_table
+from repro.eval.section2 import figure2
+
+
+def test_bench_figure2(benchmark):
+    rows = benchmark(figure2)
+    print()
+    print(
+        format_table(
+            ["Graph", "BW (GB/s)", "Useful BW", "PE util",
+             "Useful util", "Useful mem %", "Useful compute %"],
+            [
+                (
+                    r.graph,
+                    r.required_bandwidth_gbps,
+                    r.useful_bandwidth_gbps,
+                    r.pe_utilization,
+                    r.useful_pe_utilization,
+                    100 * r.useful_traffic_fraction,
+                    100 * r.useful_compute_fraction,
+                )
+                for r in rows
+            ],
+            title="Figure 2: GCN on DNN accelerator, total vs useful work",
+        )
+    )
+    cora, citeseer, pubmed = rows
+    # Pubmed: ~1% useful memory, ~2% useful compute in the paper.
+    assert pubmed.useful_traffic_fraction < 0.05
+    assert pubmed.useful_compute_fraction < 0.05
+    # Waste grows with sparsity.
+    assert pubmed.useful_compute_fraction < citeseer.useful_compute_fraction
+    assert pubmed.useful_compute_fraction < cora.useful_compute_fraction
+    # The useful series always sits below the total series.
+    for row in rows:
+        assert row.useful_bandwidth_gbps < row.required_bandwidth_gbps
+        assert row.useful_pe_utilization < row.pe_utilization

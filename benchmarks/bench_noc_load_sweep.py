@@ -1,0 +1,43 @@
+"""NoC throughput-latency curve (Booksim-style characterization).
+
+Sweeps uniform-random injection on a 4x4 mesh through the flit-level
+wormhole model — the classic network characterization the paper's
+Booksim substrate would produce — and asserts the curve's shape: flat
+latency at low load, super-linear growth approaching saturation,
+delivered throughput tracking offered load below it.
+"""
+
+from repro.eval.report import format_table
+from repro.noc.traffic import load_sweep, uniform_random
+
+RATES = (0.02, 0.05, 0.1, 0.2, 0.35)
+
+
+def test_bench_noc_load_sweep(benchmark):
+    curve = benchmark.pedantic(
+        lambda: load_sweep(
+            4, 4, uniform_random, rates=RATES,
+            warmup_cycles=100, measure_cycles=400,
+        ),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["offered (pkt/node/cyc)", "delivered", "mean latency (cyc)"],
+            [
+                (p["offered"], p["delivered"], p["mean_latency"])
+                for p in curve
+            ],
+            title="NoC load sweep: uniform random, 4x4 mesh, 128B packets",
+        )
+    )
+    latencies = [p["mean_latency"] for p in curve]
+    # Latency is monotone in offered load...
+    assert all(a <= b * 1.05 for a, b in zip(latencies, latencies[1:]))
+    # ...flat at the bottom, exploding near saturation.
+    assert latencies[0] < 20
+    assert latencies[-1] > 3 * latencies[0]
+    # Below saturation, the network delivers what is offered.
+    for point in curve[:2]:
+        assert point["delivered"] >= 0.7 * point["offered"]

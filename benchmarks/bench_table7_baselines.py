@@ -1,0 +1,34 @@
+"""Table VII: baseline CPU/GPU inference latencies.
+
+Prices every benchmark workload on the analytical Table III machine
+models and prints it next to the paper's measured values.  The
+calibration contract (every modeled latency within 2x of measured) is
+asserted.
+"""
+
+from repro.baselines import TABLE7_MEASURED_MS
+from repro.eval.baseline_tables import table7
+from repro.eval.report import format_table
+
+
+def test_bench_table7(benchmark):
+    rows = benchmark(table7)
+    print()
+    print(
+        format_table(
+            ["Benchmark", "Graph", "CPU model (ms)", "CPU measured",
+             "GPU model (ms)", "GPU measured"],
+            [
+                (r.benchmark, r.input_graph, r.cpu_modeled_ms,
+                 r.cpu_measured_ms, r.gpu_modeled_ms, r.gpu_measured_ms)
+                for r in rows
+            ],
+            title="Table VII: baseline inference latencies",
+        )
+    )
+    for row in rows:
+        assert 0.5 <= row.cpu_modeled_ms / row.cpu_measured_ms <= 2.0
+        assert 0.5 <= row.gpu_modeled_ms / row.gpu_measured_ms <= 2.0
+    # The GPU beats the CPU on every benchmark, as measured.
+    for cpu_ms, gpu_ms in TABLE7_MEASURED_MS.values():
+        assert gpu_ms < cpu_ms

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every paper table and figure has one module here; running
+
+    pytest benchmarks/ --benchmark-only
+
+regenerates them all and prints the reproduced rows next to the paper's
+values (captured output is shown with ``-s`` or on failure).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.accelerator import run_benchmark, _compiled_program
+
+
+@pytest.fixture
+def fresh_simulations():
+    """Clear the simulation cache so a benchmark times real work."""
+    run_benchmark.cache_clear()
+    yield
+    run_benchmark.cache_clear()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_programs():
+    """Compile all benchmark programs once so benches time simulation,
+    not compilation or dataset generation."""
+    from repro.models import BENCHMARKS
+
+    for benchmark in BENCHMARKS:
+        _compiled_program(benchmark.key)

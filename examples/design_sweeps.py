@@ -1,0 +1,84 @@
+"""Design-space curves: clock, bandwidth, tiles, array size, and energy.
+
+Uses the sweep utilities to answer the questions a designer would ask
+after reading the paper's Section VI: where is each benchmark's
+bottleneck, what does widening the memory system buy, how big should the
+DNA array be, and what does the energy picture look like?
+
+Run:  python examples/design_sweeps.py   (~1 minute)
+"""
+
+import dataclasses
+
+from repro.accel import CPU_ISO_BW
+from repro.accel.config import TileConfig
+from repro.dataflow import SpatialArrayConfig
+from repro.eval import bound_analysis, clock_sweep, bandwidth_sweep, tile_sweep
+from repro.eval.energy import energy_table
+from repro.eval.accelerator import _compiled_program
+from repro.runtime import simulate
+
+BENCHMARKS = ("gcn-cora", "gat-cora", "pgnn-dblp_1")
+
+
+def clock_story() -> None:
+    print("=== Clock sweep @ CPU iso-BW: who scales? ===")
+    for key in BENCHMARKS:
+        points = clock_sweep(key, CPU_ISO_BW, clocks_ghz=(0.6, 1.2, 2.4))
+        series = "  ".join(
+            f"{p.value:g}GHz:{p.latency_ms:.3f}ms" for p in points
+        )
+        print(f"  {key:14s} {series}  -> {bound_analysis(points)}")
+
+
+def bandwidth_story() -> None:
+    print("\n=== Bandwidth sweep @ 2.4 GHz: what does DDR buy? ===")
+    for key in ("gcn-cora", "gcn-pubmed"):
+        points = bandwidth_sweep(
+            key, CPU_ISO_BW, bandwidths_gbps=(17.0, 34.0, 68.0, 136.0)
+        )
+        series = "  ".join(
+            f"{p.value:g}GB/s:{p.latency_ms:.3f}ms" for p in points
+        )
+        print(f"  {key:14s} {series}")
+
+
+def tile_story() -> None:
+    print("\n=== Tile sweep: scaling GCN Pubmed ===")
+    for point in tile_sweep("gcn-pubmed", tile_counts=(1, 2, 4, 8)):
+        print(f"  {int(point.value)} tile(s): {point.latency_ms:.3f} ms")
+
+
+def array_story() -> None:
+    print("\n=== DNA array sizing (GAT Cora, one tile) ===")
+    program = _compiled_program("gat-cora")
+    for rows, cols in ((7, 8), (13, 14), (26, 28)):
+        array = SpatialArrayConfig(rows=rows, cols=cols)
+        tile = dataclasses.replace(CPU_ISO_BW.tile, dna=array)
+        config = dataclasses.replace(
+            CPU_ISO_BW, name=f"{rows}x{cols}", tile=tile
+        )
+        report = simulate(program, config)
+        print(f"  {rows:2d}x{cols:2d} ({array.num_pes:4d} PEs): "
+              f"{report.latency_ms:.3f} ms, DNA "
+              f"{report.dna_utilization:.0%} busy")
+
+
+def energy_story() -> None:
+    print("\n=== Energy per inference (CPU iso-BW) ===")
+    for row in energy_table():
+        print(f"  {row.benchmark:14s} {row.accel_uj:10.1f} uJ "
+              f"(dominant: {row.dominant:5s}) — {row.vs_cpu:5.0f}x less "
+              f"than the CPU at board power")
+
+
+def main() -> None:
+    clock_story()
+    bandwidth_story()
+    tile_story()
+    array_story()
+    energy_story()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Flit-level NoC exploration with the Booksim-like wormhole model.
+
+The accelerator's units talk over a 2D mesh with the Table IV parameters
+(64B flits, 4-flit input buffers, XY routing, 1-cycle link and routing
+delays).  This example drives the cycle-accurate flit model directly:
+
+* zero-load latency vs hop count,
+* saturation under a hotspot (every tile sending to one memory node —
+  the single-memory-node pattern of the CPU iso-BW configuration),
+* how input-buffer depth changes saturation behaviour.
+
+Run:  python examples/noc_traffic_study.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.noc import FlitNetwork, NOC_CONFIG, Packet
+
+
+def zero_load_curve() -> None:
+    print("=== Zero-load latency vs distance (256B packets) ===")
+    for hops in range(1, 6):
+        net = FlitNetwork(6, 1)
+        pkt = Packet(src=(0, 0), dst=(hops, 0), size_bytes=256)
+        net.inject(pkt)
+        net.run()
+        print(f"  {hops} hop(s): {pkt.latency} cycles")
+
+
+def hotspot(buffer_flits: int, senders: int = 8, packets_each: int = 6):
+    """All tiles of a 3x3 mesh bombard the centre node."""
+    config = dataclasses.replace(NOC_CONFIG, input_buffer_flits=buffer_flits)
+    net = FlitNetwork(3, 3, config)
+    sources = [c for c in net.mesh.nodes() if c != (1, 1)][:senders]
+    packets = []
+    for _ in range(packets_each):
+        for src in sources:
+            pkt = Packet(src=src, dst=(1, 1), size_bytes=256)
+            packets.append(pkt)
+            net.inject(pkt)
+    net.run(max_cycles=100_000)
+    latencies = np.array([p.latency for p in packets])
+    return latencies, net.cycle
+
+
+def main() -> None:
+    zero_load_curve()
+    print("\n=== Hotspot: 8 senders -> 1 sink, 48 x 256B packets ===")
+    print(f"{'buffers':>8s} {'drain cycles':>13s} {'mean lat':>9s} "
+          f"{'p95 lat':>9s}")
+    for buffers in (2, 4, 8, 16):
+        latencies, cycles = hotspot(buffers)
+        print(f"{buffers:6d}   {cycles:11d}   {latencies.mean():7.1f}   "
+              f"{np.percentile(latencies, 95):7.1f}")
+    print("\nThe drain time is fixed by the sink's ejection bandwidth "
+          "(one flit per cycle), but deeper buffers absorb the burst and "
+          "cut queueing latency in the fabric — the Table IV choice of 4 "
+          "flits is the knee for this load.")
+
+
+if __name__ == "__main__":
+    main()

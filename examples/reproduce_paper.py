@@ -1,0 +1,156 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Prints Tables I-VII, the Figure 2 waste analysis, the Figure 8 speedup
+sweep, the Figure 9 topologies, and the Figure 10 utilizations, each next
+to the paper's reported values where the paper gives them.  This is the
+script whose output EXPERIMENTS.md records.
+
+Run:  python examples/reproduce_paper.py          (~3 minutes)
+      python examples/reproduce_paper.py --fast   (skip MPNN, ~40 s)
+"""
+
+import argparse
+
+from repro.baselines import TABLE7_MEASURED_MS
+from repro.eval import (
+    figure8,
+    figure9,
+    figure10,
+    format_table,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.eval.section2 import TABLE2_PAPER_MS
+from repro.eval.speedups import mean_speedup
+from repro.models import BENCHMARKS
+
+
+def print_config_tables() -> None:
+    print(format_table(["Parameter", "Value"], table1(),
+                       title="Table I: spatial array (DNA)"))
+    print()
+    print(format_table(["Parameter", "Value"], table3(),
+                       title="Table III: baseline machines"))
+    print()
+    print(format_table(["Parameter", "Value"], table4(),
+                       title="Table IV: NoC parameters"))
+    print()
+    print(format_table(
+        ["Dataset", "Graphs", "Nodes", "Edges", "V.F.", "E.F.", "O.F."],
+        table5(), title="Table V: datasets (generated)"))
+    print()
+    print(format_table(
+        ["Configuration", "Tiles", "Mem", "ALUs", "BW (GB/s)"],
+        table6(), title="Table VI: accelerator configurations"))
+    print()
+    print("Figure 9: topologies (T = tile, M = memory node)")
+    for name, rows in figure9().items():
+        print(f"  {name}:")
+        for row in rows:
+            print(f"    {row}")
+
+
+def print_section2() -> None:
+    rows = table2()
+    print(format_table(
+        ["Graph", "Unlimited (ms)", "paper", "68GBps (ms)", "paper",
+         "useful mem", "useful compute"],
+        [
+            (r.graph,
+             r.unlimited_ms, TABLE2_PAPER_MS[r.graph.lower()][0],
+             r.limited_ms, TABLE2_PAPER_MS[r.graph.lower()][1],
+             f"{r.useful_traffic_fraction:.1%}",
+             f"{r.useful_compute_fraction:.1%}")
+            for r in rows
+        ],
+        title="Table II + Figure 2: GCN on the dense DNN accelerator",
+    ))
+
+
+def print_table7() -> None:
+    print(format_table(
+        ["Benchmark", "Graph", "CPU modeled", "CPU measured",
+         "GPU modeled", "GPU measured"],
+        [
+            (r.benchmark, r.input_graph, r.cpu_modeled_ms,
+             r.cpu_measured_ms, r.gpu_modeled_ms, r.gpu_measured_ms)
+            for r in table7()
+        ],
+        title="Table VII: baseline latencies (ms)",
+    ))
+
+
+def print_figure8(benchmarks) -> None:
+    from repro.eval import figure8_chart
+
+    cells = figure8(benchmarks=benchmarks)
+    for config in ("CPU iso-BW", "GPU iso-BW", "GPU iso-FLOPS"):
+        rows = []
+        for key in benchmarks:
+            row = [key]
+            for clock in (1.2, 2.4):
+                cell = next(
+                    c for c in cells
+                    if c.config == config and c.benchmark == key
+                    and c.clock_ghz == clock
+                )
+                row.append(f"{cell.speedup:.2f}x")
+            rows.append(row)
+        print(format_table(
+            ["Benchmark", "@1.2GHz", "@2.4GHz"], rows,
+            title=f"Figure 8 — {config} speedups",
+        ))
+        print(f"  mean @2.4GHz: {mean_speedup(cells, config, 2.4):.1f}x")
+        print()
+        print(figure8_chart(cells, config))
+        print()
+
+
+def print_figure10() -> None:
+    from repro.eval import figure10_chart
+
+    rows = figure10()
+    print(format_table(
+        ["Benchmark", "BW (GB/s)", "BW util", "DNA util", "GPE util"],
+        [
+            (r.benchmark, r.mean_bandwidth_gbps,
+             f"{r.bandwidth_utilization:.0%}", f"{r.dna_utilization:.0%}",
+             f"{r.gpe_utilization:.0%}")
+            for r in rows
+        ],
+        title="Figure 10: CPU iso-BW utilizations @ 2.4 GHz",
+    ))
+    print()
+    print(figure10_chart(rows))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--fast", action="store_true",
+        help="skip the MPNN benchmark (the slowest simulation)",
+    )
+    args = parser.parse_args()
+    benchmarks = tuple(
+        b.key for b in BENCHMARKS
+        if not (args.fast and b.key == "mpnn-qm9_1000")
+    )
+    print_config_tables()
+    print()
+    print_section2()
+    print()
+    print_table7()
+    print()
+    print_figure8(benchmarks)
+    print_figure10()
+    cpu_measured = {k: v[0] for k, v in TABLE7_MEASURED_MS.items()}
+    print(f"\n(Reference CPU baselines: {cpu_measured})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""repro — reproduction of "Hardware Acceleration of Graph Neural
+Networks" (Auten, Tomei, Kumar; DAC 2020).
+
+Subpackages
+-----------
+``repro.graphs``
+    CSR graphs and the paper's five datasets, generated synthetically
+    with exact Table V statistics.
+``repro.models``
+    Numpy reference implementations of GCN, GAT, MPNN, PGNN plus
+    analytical workload extraction.
+``repro.dataflow``
+    The Eyeriss-like spatial array and NN-Dataflow-like mapper used by
+    the Section II motivation study and the DNA throughput model.
+``repro.noc``
+    Booksim-like NoC models (flit-level wormhole + fast packet-level).
+``repro.accel``
+    The GNN accelerator: GPE, DNQ, DNA, AGG, memory controllers, and the
+    Table VI configurations.
+``repro.runtime``
+    Algorithm 1: vertex programs, the model compiler, and the execution
+    engine.
+``repro.baselines``
+    CPU/GPU machine models calibrated to the measured Table VII.
+``repro.eval``
+    One driver per paper table and figure.
+
+Typical use::
+
+    from repro.accel import CPU_ISO_BW
+    from repro.graphs import cora
+    from repro.models import GCN
+    from repro.runtime import compile_model, simulate
+
+    report = simulate(compile_model(GCN(1433, 16, 7), cora()), CPU_ISO_BW)
+"""
+
+__version__ = "1.0.0"

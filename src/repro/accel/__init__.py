@@ -1,0 +1,72 @@
+"""GNN accelerator model (paper Sections III-IV).
+
+A tile (Figure 3) couples four units over a 64B crossbar and the NoC:
+
+* **GPE** — a simple control core running the software runtime; it
+  sequences graph traversal, issues asynchronous indirect memory
+  requests, and coordinates the other units over the allocation bus.
+* **DNQ** — the DNN queue: two virtual queues with delayed enqueues,
+  per-4B-word ready bits, and lazy queue switching (16 idle cycles).
+* **DNA** — the Eyeriss-like spatial array (Table I), modeled with the
+  latency-throughput mapping of :mod:`repro.dataflow`.
+* **AGG** — the aggregator: a 16-ALU bank over a 62kB data / 2kB control
+  scratchpad, completing associative reductions by count-down.
+
+Memory nodes implement the paper's bandwidth-latency controller model
+(32-entry in-order queue, 68 GBps, 64B granularity, fixed 20ns latency).
+Tiles and memory nodes sit on a 2D mesh (Figure 9 / Table VI).
+"""
+
+from repro.accel.config import (
+    CPU_ISO_BW,
+    GPU_ISO_BW,
+    GPU_ISO_FLOPS,
+    CONFIGURATIONS,
+    AcceleratorConfig,
+    GpeCostModel,
+    TileConfig,
+)
+from repro.accel.memory import MemoryController
+from repro.accel.dna import DnaUnit
+from repro.accel.dnq import DnnQueue
+from repro.accel.agg import Aggregator
+from repro.accel.gpe import GraphPE
+from repro.accel.placement import (
+    Placement,
+    RangePlacement,
+    RoundRobinPlacement,
+)
+from repro.accel.tile import Tile
+from repro.accel.system import Accelerator
+from repro.accel.energy import (
+    EnergyModel,
+    EnergyReport,
+    baseline_energy_uj,
+    energy_efficiency,
+    estimate_energy,
+)
+
+__all__ = [
+    "AcceleratorConfig",
+    "TileConfig",
+    "GpeCostModel",
+    "CPU_ISO_BW",
+    "GPU_ISO_BW",
+    "GPU_ISO_FLOPS",
+    "CONFIGURATIONS",
+    "MemoryController",
+    "DnaUnit",
+    "DnnQueue",
+    "Aggregator",
+    "GraphPE",
+    "Placement",
+    "RoundRobinPlacement",
+    "RangePlacement",
+    "Tile",
+    "Accelerator",
+    "EnergyModel",
+    "EnergyReport",
+    "estimate_energy",
+    "baseline_energy_uj",
+    "energy_efficiency",
+]

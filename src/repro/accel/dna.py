@@ -1,0 +1,63 @@
+"""DNN Accelerator (DNA) unit model.
+
+"The DNN Accelerator is modeled using a latency-throughput model similar
+to the memory controllers.  NN-Dataflow is used to map DNN models onto an
+Eyeriss-like single-tile spatial array accelerator with 182 PEs"
+(Section V).  Jobs arrive from the DNQ with a MAC count and a mapping
+efficiency precomputed by :mod:`repro.dataflow` for the layer they belong
+to; the array serializes them FIFO.
+"""
+
+from __future__ import annotations
+
+from repro.dataflow.spatial import SpatialArrayConfig
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator
+from repro.sim.module import Module
+from repro.sim.stats import BusyTracker
+
+
+class DnaUnit(Module):
+    """Latency-throughput model of the in-tile spatial array."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        array: SpatialArrayConfig,
+        clock: Clock,
+    ) -> None:
+        super().__init__(sim, name, clock)
+        self.array = array
+        self.tracker = BusyTracker()
+
+    def service_ns(self, macs: int, efficiency: float) -> float:
+        """Time to execute ``macs`` at the layer's mapping efficiency."""
+        if macs < 0:
+            raise ValueError("MAC count cannot be negative")
+        if not 0 < efficiency <= 1:
+            raise ValueError(f"efficiency must be in (0, 1], got {efficiency}")
+        throughput = self.array.num_pes * efficiency  # MACs per cycle
+        cycles = macs / throughput
+        return self.clock.cycles_to_ns(cycles)
+
+    def execute(
+        self, macs: int, efficiency: float, ready_ns: float
+    ) -> tuple[float, float]:
+        """Run one job after ``ready_ns``; returns (start, finish) in ns."""
+        duration = self.service_ns(macs, efficiency)
+        start, finish = self.tracker.occupy(ready_ns, duration)
+        self.stats.add("jobs")
+        self.stats.add("macs", macs)
+        return start, finish
+
+    def utilization(self, elapsed_ns: float) -> float:
+        """Array-busy fraction over ``elapsed_ns`` (the Figure 10 metric)."""
+        return self.tracker.utilization(elapsed_ns)
+
+    def effective_macs_per_cycle(self, elapsed_ns: float) -> float:
+        """Achieved MAC throughput over a run."""
+        if elapsed_ns <= 0:
+            return 0.0
+        cycles = self.clock.ns_to_cycles(elapsed_ns)
+        return self.stats.get("macs") / cycles

@@ -1,0 +1,126 @@
+"""Energy estimation for simulated runs (extension, not in the paper).
+
+Section II motivates the accelerator partly by energy: the dense DNN
+accelerator "results in a significant amount of energy being wasted on
+unnecessary memory accesses" — but the paper never quantifies energy.
+This module adds a first-order event-energy model on top of the activity
+counters the simulation already collects, with per-event costs in the
+range published for ~45 nm logic and DDR3 interfaces (Horowitz, ISSCC'14):
+
+========================  ==========  =================================
+Event                      Cost        Counted from
+========================  ==========  =================================
+32-bit MAC on the DNA      3.7 pJ      ``DnaUnit.stats["macs"]``
+AGG ALU op (per value)     1.2 pJ      ``Aggregator.stats["values"]``
+GPE instruction            25 pJ       ``GraphPE.stats["instructions"]``
+DRAM access (per byte)     60 pJ       ``MemoryController`` serviced bytes
+                                       (alignment waste included!)
+NoC flit-hop (64B)         40 pJ       ``PacketNetwork.stats["flit_hops"]``
+Scratchpad (per byte)      1.0 pJ      DNQ/AGG traffic ~ NoC bytes
+========================  ==========  =================================
+
+Baseline comparisons use the Table III parts' board powers (120 W CPU
+package, 250 W Titan XP).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.system import Accelerator
+from repro.runtime.report import SimulationReport
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Per-event energy costs in picojoules."""
+
+    mac_pj: float = 3.7
+    agg_value_pj: float = 1.2
+    gpe_instruction_pj: float = 25.0
+    dram_byte_pj: float = 60.0
+    noc_flit_hop_pj: float = 40.0
+    scratchpad_byte_pj: float = 1.0
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy breakdown of one simulated inference, in microjoules."""
+
+    dna_uj: float
+    agg_uj: float
+    gpe_uj: float
+    dram_uj: float
+    noc_uj: float
+    scratchpad_uj: float
+
+    @property
+    def total_uj(self) -> float:
+        return (
+            self.dna_uj + self.agg_uj + self.gpe_uj
+            + self.dram_uj + self.noc_uj + self.scratchpad_uj
+        )
+
+    def dominant_component(self) -> str:
+        """Name of the largest contributor."""
+        parts = {
+            "dna": self.dna_uj,
+            "agg": self.agg_uj,
+            "gpe": self.gpe_uj,
+            "dram": self.dram_uj,
+            "noc": self.noc_uj,
+            "scratchpad": self.scratchpad_uj,
+        }
+        return max(parts, key=parts.get)
+
+
+def estimate_energy(
+    accel: Accelerator, model: EnergyModel = EnergyModel()
+) -> EnergyReport:
+    """Price the activity counters of a finished simulation."""
+    macs = sum(t.dna.stats.get("macs") for t in accel.tiles)
+    agg_values = sum(t.agg.stats.get("values") for t in accel.tiles)
+    instructions = sum(t.gpe.stats.get("instructions") for t in accel.tiles)
+    dram_bytes = accel.total_dram_bytes()
+    flit_hops = accel.noc.stats.get("flit_hops")
+    noc_bytes = accel.noc.stats.get("bytes")
+    to_uj = 1e-6
+    return EnergyReport(
+        dna_uj=macs * model.mac_pj * to_uj,
+        agg_uj=agg_values * model.agg_value_pj * to_uj,
+        gpe_uj=instructions * model.gpe_instruction_pj * to_uj,
+        dram_uj=dram_bytes * model.dram_byte_pj * to_uj,
+        noc_uj=flit_hops * model.noc_flit_hop_pj * to_uj,
+        scratchpad_uj=noc_bytes * model.scratchpad_byte_pj * to_uj,
+    )
+
+
+#: Table III board powers for baseline energy comparisons, in watts.
+CPU_POWER_W = 120.0
+GPU_POWER_W = 250.0
+
+
+def baseline_energy_uj(latency_ms: float, system: str) -> float:
+    """Energy a baseline spends on one inference, at board power."""
+    key = system.lower()
+    if key == "cpu":
+        power = CPU_POWER_W
+    elif key == "gpu":
+        power = GPU_POWER_W
+    else:
+        raise ValueError(f"system must be 'cpu' or 'gpu', got {system!r}")
+    return power * latency_ms * 1e-3 * 1e6  # W * s -> J -> uJ
+
+
+def energy_efficiency(
+    report: SimulationReport,
+    energy: EnergyReport,
+    baseline_latency_ms: float,
+    baseline_system: str,
+) -> float:
+    """Accelerator energy advantage over a baseline (x)."""
+    del report  # latency lives in the baseline comparison, not here
+    baseline = baseline_energy_uj(baseline_latency_ms, baseline_system)
+    if energy.total_uj <= 0:
+        raise ValueError("simulation recorded no activity")
+    return baseline / energy.total_uj

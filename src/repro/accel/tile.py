@@ -1,0 +1,45 @@
+"""One GNN accelerator tile (paper Figure 3)."""
+
+from __future__ import annotations
+
+from repro.accel.agg import Aggregator
+from repro.accel.config import TileConfig
+from repro.accel.dna import DnaUnit
+from repro.accel.dnq import DnnQueue
+from repro.accel.gpe import GraphPE
+from repro.noc.topology import Coord
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator
+
+
+class Tile:
+    """GPE + DNQ + DNA + AGG behind one crossbar/NoC position.
+
+    The 7x7 64B crossbar of Figure 3 connects the units to each other and
+    to the four mesh neighbours; its single-cycle traversal is folded into
+    the NoC model's local routing delay.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        coord: Coord,
+        config: TileConfig,
+        clock: Clock,
+    ) -> None:
+        self.coord = coord
+        self.config = config
+        self.clock = clock
+        label = f"tile{coord}"
+        self.gpe = GraphPE(sim, f"{label}.gpe", config, clock)
+        self.dna = DnaUnit(sim, f"{label}.dna", config.dna, clock)
+        self.dnq = DnnQueue(sim, f"{label}.dnq", config, self.dna, clock)
+        self.agg = Aggregator(sim, f"{label}.agg", config, clock)
+
+    def configure_layer(self, dnq_entry_bytes: int, agg_width_values: int) -> None:
+        """Inter-layer reconfiguration over the allocation bus."""
+        self.dnq.configure(dnq_entry_bytes)
+        self.agg.configure(agg_width_values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Tile(coord={self.coord})"

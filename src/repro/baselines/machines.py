@@ -1,0 +1,92 @@
+"""Baseline machine models (paper Table III).
+
+Peak numbers come from the datasheets of the Table III parts; the
+efficiency terms are the achieved fractions a framework-based GNN
+reference implementation reaches, calibrated once against the measured
+Table VII latencies (the calibration residuals are recorded in
+EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """An analytical machine: peaks plus achieved-efficiency terms.
+
+    * ``peak_gflops`` / ``mem_bw_gbps`` — hardware peaks.
+    * ``dense_efficiency`` — fraction of peak reached by the benchmark's
+      dense kernels (batched matmuls).
+    * ``sparse_gflops`` — achieved throughput of sparse/scatter kernels
+      (orders of magnitude below peak on both machines; this is the
+      paper's core observation about framework sparse support).
+    * ``traversal_ns`` — cost per edge-endpoint touch in graph-structure
+      work (e.g. building multi-hop operators); models the sparse-sparse
+      products in the PGNN reference.  Applies to traversals of at least
+      ``traversal_min_hops``: the CPU reference pays per-row overheads
+      even for 1-hop sparse products, while the GPU's fused spmm kernels
+      only pay it when multi-hop operators are constructed.
+    * ``kernel_overhead_us`` — fixed cost per launched kernel; dominates
+      the many-tiny-graphs MPNN workload on the GPU, which is why the
+      paper's GPU numbers are so far from peak.
+    * ``bandwidth_efficiency`` — achieved fraction of peak bandwidth.
+    """
+
+    name: str
+    peak_gflops: float
+    mem_bw_gbps: float
+    dense_efficiency: float
+    sparse_gflops: float
+    traversal_ns: float
+    kernel_overhead_us: float
+    bandwidth_efficiency: float
+    traversal_min_hops: int = 1
+
+    def __post_init__(self) -> None:
+        if self.peak_gflops <= 0 or self.mem_bw_gbps <= 0:
+            raise ValueError("machine peaks must be positive")
+        if not 0 < self.dense_efficiency <= 1:
+            raise ValueError("dense_efficiency must be in (0, 1]")
+        if not 0 < self.bandwidth_efficiency <= 1:
+            raise ValueError("bandwidth_efficiency must be in (0, 1]")
+
+    @property
+    def dense_gflops(self) -> float:
+        """Achieved dense throughput."""
+        return self.peak_gflops * self.dense_efficiency
+
+    @property
+    def effective_bw_gbps(self) -> float:
+        """Achieved memory bandwidth."""
+        return self.mem_bw_gbps * self.bandwidth_efficiency
+
+
+#: Table III CPU: 14-core Xeon E5-2680v4 @ 2.4 GHz with 4x DDR4-2133.
+#: Peak = 14 cores x 2.4 GHz x 16 FLOP/cycle (AVX2 FMA) = 537.6 GFLOPs;
+#: 4 channels x 17.06 GB/s = 68.3 GB/s.
+CPU_MACHINE = MachineModel(
+    name="CPU (Xeon E5-2680v4)",
+    peak_gflops=537.6,
+    mem_bw_gbps=68.3,
+    dense_efficiency=0.25,
+    sparse_gflops=0.30,
+    traversal_ns=50.0,
+    kernel_overhead_us=30.0,
+    bandwidth_efficiency=0.6,
+)
+
+#: Table III GPU: NVIDIA Titan XP @ 1582 MHz, 12 GB GDDR5X @ 547.7 GB/s.
+#: Peak single precision = 12.15 TFLOPs.
+GPU_MACHINE = MachineModel(
+    name="GPU (Titan XP)",
+    peak_gflops=12150.0,
+    mem_bw_gbps=547.7,
+    dense_efficiency=0.20,
+    sparse_gflops=6.0,
+    traversal_ns=20.0,
+    kernel_overhead_us=5.0,
+    bandwidth_efficiency=0.5,
+    traversal_min_hops=2,
+)

@@ -1,0 +1,73 @@
+"""Roofline positioning of the benchmarks on the baseline machines.
+
+The classic roofline: achievable performance =
+``min(peak_compute, arithmetic_intensity x memory_bandwidth)``.  This
+module places every benchmark on each machine's roofline and compares the
+bound with what the calibrated model actually achieves — the gap *is* the
+paper's argument that the problem is framework/scheduling inefficiency,
+not hardware capability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.machines import CPU_MACHINE, GPU_MACHINE, MachineModel
+from repro.baselines.roofline import estimate_latency_ms
+from repro.models.registry import BENCHMARKS, benchmark_workload
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One benchmark on one machine's roofline."""
+
+    benchmark: str
+    machine: str
+    arithmetic_intensity: float  # flops / byte
+    roofline_gflops: float  # what the hardware allows
+    achieved_gflops: float  # what the calibrated model achieves
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved over allowed (1.0 = sitting on the roofline)."""
+        return self.achieved_gflops / self.roofline_gflops
+
+    @property
+    def compute_bound(self) -> bool:
+        """True when the roofline's flat (peak-compute) region applies."""
+        return self.roofline_gflops >= 0.999 * _peak(self)
+
+
+def _peak(point: RooflinePoint) -> float:
+    machine = CPU_MACHINE if point.machine == CPU_MACHINE.name else GPU_MACHINE
+    return machine.peak_gflops
+
+
+def roofline_point(
+    benchmark_key: str, machine: MachineModel
+) -> RooflinePoint:
+    """Place one benchmark on one machine's roofline."""
+    benchmark = next(b for b in BENCHMARKS if b.key == benchmark_key)
+    workload = benchmark_workload(benchmark)
+    intensity = workload.total_flops / workload.total_bytes
+    roofline = min(
+        machine.peak_gflops, intensity * machine.mem_bw_gbps
+    )
+    latency_s = estimate_latency_ms(workload, machine) * 1e-3
+    achieved = workload.total_flops / latency_s / 1e9
+    return RooflinePoint(
+        benchmark=benchmark_key,
+        machine=machine.name,
+        arithmetic_intensity=intensity,
+        roofline_gflops=roofline,
+        achieved_gflops=achieved,
+    )
+
+
+def roofline_table() -> list[RooflinePoint]:
+    """Every benchmark on both baseline machines."""
+    return [
+        roofline_point(benchmark.key, machine)
+        for machine in (CPU_MACHINE, GPU_MACHINE)
+        for benchmark in BENCHMARKS
+    ]

@@ -1,0 +1,208 @@
+"""Command-line interface: regenerate paper artifacts from the shell.
+
+Usage::
+
+    python -m repro list                 # available artifacts
+    python -m repro table2               # Section II latencies
+    python -m repro figure8 --fast       # speedups without MPNN
+    python -m repro simulate gcn-cora --config "GPU iso-BW" --clock 1.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.eval.report import format_table
+
+
+def _cmd_list(_args) -> None:
+    print("artifacts: table1 table2 figure2 table3 table4 table5 table6 "
+          "table7 figure8 figure9 figure10 energy")
+    print("commands:  simulate <benchmark> [--config NAME] [--clock GHZ]")
+    from repro.models import BENCHMARKS
+
+    print(f"benchmarks: {' '.join(b.key for b in BENCHMARKS)}")
+
+
+def _cmd_config_table(name: str) -> None:
+    from repro.eval import tables
+
+    rows = getattr(tables, name)()
+    if name == "table5":
+        print(format_table(
+            ["Dataset", "Graphs", "Nodes", "Edges", "V.F.", "E.F.", "O.F."],
+            rows, title="Table V"))
+    elif name == "table6":
+        print(format_table(
+            ["Configuration", "Tiles", "Mem", "ALUs", "BW (GB/s)"],
+            rows, title="Table VI"))
+    else:
+        print(format_table(["Parameter", "Value"], rows, title=name))
+
+
+def _cmd_table2(_args) -> None:
+    from repro.eval.section2 import TABLE2_PAPER_MS, table2
+
+    rows = table2()
+    print(format_table(
+        ["Graph", "Unlimited (ms)", "paper", "68GBps (ms)", "paper"],
+        [
+            (r.graph, r.unlimited_ms, TABLE2_PAPER_MS[r.graph.lower()][0],
+             r.limited_ms, TABLE2_PAPER_MS[r.graph.lower()][1])
+            for r in rows
+        ],
+        title="Table II",
+    ))
+
+
+def _cmd_figure2(_args) -> None:
+    from repro.eval.section2 import figure2
+
+    print(format_table(
+        ["Graph", "BW (GB/s)", "Useful BW", "PE util", "Useful util"],
+        [
+            (r.graph, r.required_bandwidth_gbps, r.useful_bandwidth_gbps,
+             r.pe_utilization, r.useful_pe_utilization)
+            for r in figure2()
+        ],
+        title="Figure 2",
+    ))
+
+
+def _cmd_table7(_args) -> None:
+    from repro.eval.baseline_tables import table7
+
+    print(format_table(
+        ["Benchmark", "Graph", "CPU model", "CPU meas", "GPU model",
+         "GPU meas"],
+        [
+            (r.benchmark, r.input_graph, r.cpu_modeled_ms,
+             r.cpu_measured_ms, r.gpu_modeled_ms, r.gpu_measured_ms)
+            for r in table7()
+        ],
+        title="Table VII (ms)",
+    ))
+
+
+def _cmd_figure8(args) -> None:
+    from repro.eval.speedups import figure8
+    from repro.models import BENCHMARKS
+
+    keys = tuple(
+        b.key for b in BENCHMARKS
+        if not (args.fast and b.key == "mpnn-qm9_1000")
+    )
+    cells = figure8(benchmarks=keys)
+    rows = [
+        (c.config, c.benchmark, c.clock_ghz, c.latency_ms,
+         f"{c.speedup:.2f}x")
+        for c in cells
+    ]
+    print(format_table(
+        ["Config", "Benchmark", "Clock (GHz)", "Latency (ms)", "Speedup"],
+        rows, title="Figure 8",
+    ))
+
+
+def _cmd_figure9(_args) -> None:
+    from repro.eval.tables import figure9
+
+    for name, rows in figure9().items():
+        print(f"{name}:")
+        for row in rows:
+            print(f"  {row}")
+
+
+def _cmd_figure10(_args) -> None:
+    from repro.eval.utilization import figure10
+
+    print(format_table(
+        ["Benchmark", "BW (GB/s)", "BW util", "DNA util", "GPE util"],
+        [
+            (r.benchmark, r.mean_bandwidth_gbps, r.bandwidth_utilization,
+             r.dna_utilization, r.gpe_utilization)
+            for r in figure10()
+        ],
+        title="Figure 10",
+    ))
+
+
+def _cmd_energy(_args) -> None:
+    from repro.eval.energy import energy_table
+
+    print(format_table(
+        ["Benchmark", "Accel (uJ)", "dominant", "vs CPU", "vs GPU"],
+        [
+            (r.benchmark, r.accel_uj, r.dominant, f"{r.vs_cpu:.0f}x",
+             f"{r.vs_gpu:.0f}x")
+            for r in energy_table()
+        ],
+        title="Energy (extension)",
+    ))
+
+
+def _cmd_simulate(args) -> None:
+    from repro.eval.accelerator import run_benchmark
+
+    report = run_benchmark(args.benchmark, args.config, args.clock)
+    print(f"{report.benchmark} on {report.config_name} @ "
+          f"{report.clock_ghz} GHz")
+    print(f"  latency: {report.latency_ms:.3f} ms")
+    print(f"  DRAM traffic: {report.dram_bytes / 1e6:.1f} MB "
+          f"({report.dram_wasted_bytes / max(report.dram_bytes, 1):.0%} "
+          f"alignment waste)")
+    print(f"  bandwidth utilization: {report.bandwidth_utilization:.0%}")
+    print(f"  DNA utilization: {report.dna_utilization:.0%}")
+    print(f"  GPE utilization: {report.gpe_utilization:.0%}")
+    for layer in report.layers:
+        print(f"    {layer.name:24s} {layer.latency_ns / 1e3:10.1f} us")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Hardware Acceleration of Graph Neural "
+                    "Networks' (DAC 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list artifacts and benchmarks")
+    for name in ("table1", "table3", "table4", "table5", "table6"):
+        sub.add_parser(name, help=f"print {name}")
+    sub.add_parser("table2", help="Section II latencies")
+    sub.add_parser("figure2", help="Section II waste analysis")
+    sub.add_parser("table7", help="baseline latencies")
+    fig8 = sub.add_parser("figure8", help="speedup sweep (slow)")
+    fig8.add_argument("--fast", action="store_true", help="skip MPNN")
+    sub.add_parser("figure9", help="mesh topologies")
+    sub.add_parser("figure10", help="utilizations")
+    sub.add_parser("energy", help="energy extension table")
+    simulate = sub.add_parser("simulate", help="simulate one benchmark")
+    simulate.add_argument("benchmark", help="e.g. gcn-cora")
+    simulate.add_argument("--config", default="CPU iso-BW")
+    simulate.add_argument("--clock", type=float, default=2.4)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "table2": _cmd_table2,
+        "figure2": _cmd_figure2,
+        "table7": _cmd_table7,
+        "figure8": _cmd_figure8,
+        "figure9": _cmd_figure9,
+        "figure10": _cmd_figure10,
+        "energy": _cmd_energy,
+        "simulate": _cmd_simulate,
+    }
+    if args.command in ("table1", "table3", "table4", "table5", "table6"):
+        _cmd_config_table(args.command)
+        return 0
+    handlers[args.command](args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,114 @@
+"""Convolutional layer lowering for the spatial-array mapper.
+
+The paper notes that a GNN's projection step "can be seen as a
+traditional batched fully-connected layer or convolutional layer", and
+the Section II study maps the graph convolution as a convolution with the
+adjacency matrix as weights.  The mapper itself works on matmuls;
+:class:`ConvLayer` describes a convolution and lowers it (im2col) to the
+equivalent :class:`~repro.dataflow.layers.MatmulLayer`, making the
+dataflow substrate a complete dense-DNN model, not just an FC one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataflow.layers import MatmulLayer
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A standard 2D convolution."""
+
+    name: str
+    batch: int
+    in_height: int
+    in_width: int
+    in_channels: int
+    out_channels: int
+    kernel_height: int
+    kernel_width: int
+    stride: int = 1
+    padding: int = 0
+    weight_nnz: int | None = None  # optional sparsity annotation
+
+    def __post_init__(self) -> None:
+        dims = (
+            self.batch, self.in_height, self.in_width, self.in_channels,
+            self.out_channels, self.kernel_height, self.kernel_width,
+            self.stride,
+        )
+        if min(dims) < 1:
+            raise ValueError(f"conv layer {self.name}: dimensions must be >= 1")
+        if self.padding < 0:
+            raise ValueError(f"conv layer {self.name}: negative padding")
+        if self.out_height < 1 or self.out_width < 1:
+            raise ValueError(
+                f"conv layer {self.name}: kernel does not fit the input"
+            )
+
+    @property
+    def out_height(self) -> int:
+        return (
+            self.in_height + 2 * self.padding - self.kernel_height
+        ) // self.stride + 1
+
+    @property
+    def out_width(self) -> int:
+        return (
+            self.in_width + 2 * self.padding - self.kernel_width
+        ) // self.stride + 1
+
+    @property
+    def kernel_volume(self) -> int:
+        """Inputs contributing to one output element."""
+        return self.kernel_height * self.kernel_width * self.in_channels
+
+    @property
+    def total_macs(self) -> int:
+        return (
+            self.batch * self.out_height * self.out_width
+            * self.kernel_volume * self.out_channels
+        )
+
+    def to_matmul(self) -> MatmulLayer:
+        """im2col lowering: ``C[M,N] = A[M,K] @ B[K,N]``.
+
+        M = output positions, K = kernel volume, N = output channels.
+        A sparsity annotation on the weights maps onto the B operand's
+        contribution per output, expressed through ``a_nnz`` scaling of
+        the kernel volume.
+        """
+        m = self.batch * self.out_height * self.out_width
+        k = self.kernel_volume
+        n = self.out_channels
+        a_nnz = None
+        if self.weight_nnz is not None:
+            # Fraction of nonzero weights applies uniformly to the
+            # unrolled input patches.
+            dense_weights = k * n
+            fraction = self.weight_nnz / dense_weights
+            a_nnz = round(fraction * m * k)
+        return MatmulLayer(name=self.name, m=m, k=k, n=n, a_nnz=a_nnz)
+
+
+def pointwise_conv(
+    name: str, batch: int, positions: int, in_channels: int,
+    out_channels: int,
+) -> ConvLayer:
+    """A 1x1 convolution over ``positions`` spatial sites.
+
+    This is exactly the per-vertex projection of a ConvGNN when the
+    vertex set is laid out as a 1D 'image' — the lowering every GNN
+    framework uses.
+    """
+    return ConvLayer(
+        name=name,
+        batch=batch,
+        in_height=1,
+        in_width=positions,
+        in_channels=in_channels,
+        out_channels=out_channels,
+        kernel_height=1,
+        kernel_width=1,
+    )

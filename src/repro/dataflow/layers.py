@@ -1,0 +1,94 @@
+"""Layer descriptors for the spatial-array mapper.
+
+Every layer in the Section II study is computationally a matrix multiply
+``C[M,N] = A[M,K] @ B[K,N]`` — a batched fully-connected layer, or the
+graph convolution "implemented as a convolution with the adjacency matrix
+as the weights".  Sparsity annotations (``a_nnz``) record how many entries
+of the A operand are nonzero so useful-work fractions can be reported; the
+dense scheduler itself ignores them, exactly like a dense DNN accelerator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.graph import Graph
+
+
+@dataclass(frozen=True)
+class MatmulLayer:
+    """``C[M,N] = A[M,K] @ B[K,N]`` with optional A-operand sparsity.
+
+    ``a_nnz`` is the number of nonzero entries of A (``None`` means fully
+    dense).  For adjacency layers A is the normalized adjacency, streamed
+    from memory; for projection layers A is the activation matrix.
+    ``b_resident`` marks B as small enough to be treated as on-chip model
+    state for traffic accounting of repeated networks.
+    """
+
+    name: str
+    m: int
+    k: int
+    n: int
+    a_nnz: int | None = None
+
+    def __post_init__(self) -> None:
+        if min(self.m, self.k, self.n) < 1:
+            raise ValueError(f"layer {self.name}: dimensions must be positive")
+        if self.a_nnz is not None and not 0 <= self.a_nnz <= self.m * self.k:
+            raise ValueError(
+                f"layer {self.name}: a_nnz={self.a_nnz} outside [0, m*k]"
+            )
+
+    @property
+    def total_macs(self) -> int:
+        """Dense MAC count."""
+        return self.m * self.k * self.n
+
+    @property
+    def useful_macs(self) -> int:
+        """MACs that touch a nonzero A entry."""
+        if self.a_nnz is None:
+            return self.total_macs
+        return self.a_nnz * self.n
+
+    @property
+    def useful_fraction(self) -> float:
+        """Share of the dense compute that is useful."""
+        return self.useful_macs / self.total_macs
+
+    @property
+    def a_density(self) -> float:
+        """Nonzero fraction of the A operand."""
+        if self.a_nnz is None:
+            return 1.0
+        return self.a_nnz / (self.m * self.k)
+
+
+def gcn_dense_layers(
+    graph: Graph, hidden: int = 16, out_features: int = 7
+) -> list[MatmulLayer]:
+    """The GCN network as the dense layer sequence of the Section II study.
+
+    Project-then-propagate per layer (the cheaper order every
+    implementation uses):
+
+    1. ``H0 = X W0``           — dense FC,
+    2. ``H1 = Ahat H0``        — "convolution" with the adjacency weights,
+    3. ``H2 = H1 W1``          — dense FC,
+    4. ``Y  = Ahat H2``        — adjacency again.
+
+    The adjacency operand is ``A + I`` normalized, so its nonzero count is
+    the stored directed edges plus one self loop per vertex.
+    """
+    n = graph.num_nodes
+    features = graph.num_node_features
+    if features < 1:
+        raise ValueError("graph must carry node features")
+    adj_nnz = graph.nnz + n
+    return [
+        MatmulLayer("project0", m=n, k=features, n=hidden),
+        MatmulLayer("propagate0", m=n, k=n, n=hidden, a_nnz=adj_nnz),
+        MatmulLayer("project1", m=n, k=hidden, n=out_features),
+        MatmulLayer("propagate1", m=n, k=n, n=out_features, a_nnz=adj_nnz),
+    ]

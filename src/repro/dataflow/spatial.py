@@ -1,0 +1,47 @@
+"""Spatial DNN-accelerator array configuration (paper Table I)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpatialArrayConfig:
+    """An Eyeriss-like processing-element array with a buffer hierarchy.
+
+    Parameters mirror Table I.  ``global_buffer_bytes`` is the shared
+    scratchpad used for tile staging; ``register_file_bytes`` is per-PE
+    (it bounds nothing in this analytical model but is kept for reporting
+    and validation of the configuration tables).
+    """
+
+    rows: int = 13
+    cols: int = 14
+    register_file_bytes: int = 512
+    global_buffer_bytes: int = 108 * 1024
+    bytes_per_value: int = 4  # 32-bit fixed point
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("array dimensions must be positive")
+        if self.global_buffer_bytes < 3 * self.bytes_per_value:
+            raise ValueError("global buffer too small to hold any tile")
+
+    @property
+    def num_pes(self) -> int:
+        """Total processing elements (182 for Table I)."""
+        return self.rows * self.cols
+
+    @property
+    def buffer_words(self) -> int:
+        """Global buffer capacity in data words."""
+        return self.global_buffer_bytes // self.bytes_per_value
+
+    @property
+    def peak_macs_per_cycle(self) -> int:
+        """One MAC per PE per cycle."""
+        return self.num_pes
+
+
+#: The silicon-proven Eyeriss-like configuration of Table I.
+EYERISS_CONFIG = SpatialArrayConfig()

@@ -1,0 +1,70 @@
+"""Experiment drivers: one entry point per paper table / figure.
+
+=========== =================================================
+Artifact    Function
+=========== =================================================
+Table I     :func:`repro.eval.tables.table1`
+Table II    :func:`repro.eval.section2.table2`
+Figure 2    :func:`repro.eval.section2.figure2`
+Table III   :func:`repro.eval.tables.table3`
+Table IV    :func:`repro.eval.tables.table4`
+Table V     :func:`repro.eval.tables.table5`
+Table VI    :func:`repro.eval.tables.table6`
+Table VII   :func:`repro.eval.baseline_tables.table7`
+Figure 8    :func:`repro.eval.speedups.figure8`
+Figure 9    :func:`repro.eval.tables.figure9`
+Figure 10   :func:`repro.eval.utilization.figure10`
+=========== =================================================
+"""
+
+from repro.eval.section2 import Section2Row, figure2, table2
+from repro.eval.accelerator import run_benchmark
+from repro.eval.speedups import Figure8Cell, figure8
+from repro.eval.utilization import Figure10Row, figure10
+from repro.eval.baseline_tables import table7
+from repro.eval.tables import (
+    figure9,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from repro.eval.report import format_table
+from repro.eval.figures import bar_chart, figure8_chart, figure10_chart
+from repro.eval.summary import headline_metrics
+from repro.eval.energy import energy_table
+from repro.eval.sweeps import (
+    bandwidth_sweep,
+    bound_analysis,
+    clock_sweep,
+    tile_sweep,
+)
+
+__all__ = [
+    "Section2Row",
+    "table2",
+    "figure2",
+    "run_benchmark",
+    "Figure8Cell",
+    "figure8",
+    "Figure10Row",
+    "figure10",
+    "table7",
+    "table1",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure9",
+    "format_table",
+    "bar_chart",
+    "figure8_chart",
+    "figure10_chart",
+    "headline_metrics",
+    "energy_table",
+    "clock_sweep",
+    "bandwidth_sweep",
+    "tile_sweep",
+    "bound_analysis",
+]

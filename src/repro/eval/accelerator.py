@@ -1,0 +1,57 @@
+"""Cached accelerator simulation entry point for the evaluation drivers."""
+
+from __future__ import annotations
+
+import functools
+
+from repro.accel.config import (
+    CONFIGURATIONS,
+    AcceleratorConfig,
+)
+from repro.models.registry import BENCHMARKS, Benchmark, load_benchmark
+from repro.runtime.compiler import compile_model
+from repro.runtime.engine import simulate
+from repro.runtime.report import SimulationReport
+
+
+def _benchmark_by_key(key: str) -> Benchmark:
+    for benchmark in BENCHMARKS:
+        if benchmark.key == key:
+            return benchmark
+    raise KeyError(
+        f"unknown benchmark {key!r}; available: "
+        f"{[b.key for b in BENCHMARKS]}"
+    )
+
+
+def _config_by_name(name: str) -> AcceleratorConfig:
+    for config in CONFIGURATIONS:
+        if config.name == name:
+            return config
+    raise KeyError(
+        f"unknown configuration {name!r}; available: "
+        f"{[c.name for c in CONFIGURATIONS]}"
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _compiled_program(benchmark_key: str):
+    benchmark = _benchmark_by_key(benchmark_key)
+    model, data = load_benchmark(benchmark)
+    return compile_model(model, data)
+
+
+@functools.lru_cache(maxsize=None)
+def run_benchmark(
+    benchmark_key: str,
+    config_name: str = "CPU iso-BW",
+    clock_ghz: float = 2.4,
+) -> SimulationReport:
+    """Simulate one benchmark on one Table VI configuration.
+
+    Results are memoized per process: the evaluation drivers (Figure 8
+    clock sweep, Figure 10 utilizations) share simulations of the same
+    operating point.
+    """
+    config = _config_by_name(config_name).with_clock(clock_ghz)
+    return simulate(_compiled_program(benchmark_key), config)

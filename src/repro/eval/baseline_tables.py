@@ -1,0 +1,41 @@
+"""Table VII driver: measured and modeled baseline latencies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.machines import CPU_MACHINE, GPU_MACHINE
+from repro.baselines.roofline import estimate_latency_ms
+from repro.baselines.table7 import TABLE7_MEASURED_MS
+from repro.models.registry import BENCHMARKS, benchmark_workload
+
+
+@dataclass(frozen=True)
+class Table7Row:
+    """One benchmark's baseline latencies (paper-measured and modeled)."""
+
+    benchmark: str
+    input_graph: str
+    cpu_measured_ms: float
+    gpu_measured_ms: float
+    cpu_modeled_ms: float
+    gpu_modeled_ms: float
+
+
+def table7() -> list[Table7Row]:
+    """Table VII with our analytical model next to the paper's numbers."""
+    rows = []
+    for benchmark in BENCHMARKS:
+        measured_cpu, measured_gpu = TABLE7_MEASURED_MS[benchmark.key]
+        workload = benchmark_workload(benchmark)
+        rows.append(
+            Table7Row(
+                benchmark=benchmark.model,
+                input_graph=benchmark.dataset,
+                cpu_measured_ms=measured_cpu,
+                gpu_measured_ms=measured_gpu,
+                cpu_modeled_ms=estimate_latency_ms(workload, CPU_MACHINE),
+                gpu_modeled_ms=estimate_latency_ms(workload, GPU_MACHINE),
+            )
+        )
+    return rows

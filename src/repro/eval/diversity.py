@@ -1,0 +1,86 @@
+"""Benchmark diversity characterization (paper Section V).
+
+"Our selection of benchmarks provides adequate diversity across several
+dimensions in a GNN algorithm: spatial versus spectral convolution,
+different aggregation schemes, large vs small models, and different types
+of graph traversal."  This driver quantifies that claim from the
+workloads themselves, so the diversity table is measured rather than
+asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.registry import BENCHMARKS, Benchmark, benchmark_workload
+from repro.models.workload import Traversal
+
+#: Qualitative model-family attributes (from the source papers).
+_FAMILY_ATTRIBUTES: dict[str, tuple[str, str]] = {
+    # model -> (convolution type, aggregation scheme)
+    "GCN": ("spectral", "degree-normalized sum"),
+    "GAT": ("spatial", "attention-weighted sum"),
+    "MPNN": ("spatial", "edge-conditioned sum + GRU"),
+    "PGNN": ("spectral", "multi-hop power sum"),
+}
+
+
+@dataclass(frozen=True)
+class DiversityRow:
+    """One benchmark's position in the diversity space."""
+
+    benchmark: str
+    convolution: str
+    aggregation: str
+    gflops: float
+    mbytes: float
+    arithmetic_intensity: float  # flops per byte
+    dense_share: float  # fraction of flops on the DNA
+    aggregation_share: float  # fraction of flops on the AGG
+    max_traversal_hops: int
+
+    @property
+    def size_class(self) -> str:
+        """Large vs small model, by total work."""
+        return "large" if self.gflops > 1.0 else "small"
+
+    @property
+    def traversal_class(self) -> str:
+        """The paper's 'different types of graph traversal' axis."""
+        return "multi-hop" if self.max_traversal_hops >= 2 else "one-hop"
+
+
+def diversity_row(benchmark: Benchmark) -> DiversityRow:
+    """Characterize one benchmark."""
+    workload = benchmark_workload(benchmark)
+    convolution, aggregation = _FAMILY_ATTRIBUTES[benchmark.model]
+    total = max(workload.total_flops, 1)
+    hops = max(
+        (op.hops for op in workload.by_type(Traversal)), default=0
+    )
+    return DiversityRow(
+        benchmark=benchmark.key,
+        convolution=convolution,
+        aggregation=aggregation,
+        gflops=workload.total_flops / 1e9,
+        mbytes=workload.total_bytes / 1e6,
+        arithmetic_intensity=workload.total_flops / workload.total_bytes,
+        dense_share=2 * workload.dense_macs / total,
+        aggregation_share=workload.aggregation_flops / total,
+        max_traversal_hops=hops,
+    )
+
+
+def diversity_table() -> list[DiversityRow]:
+    """All six Table VII benchmarks, characterized."""
+    return [diversity_row(benchmark) for benchmark in BENCHMARKS]
+
+
+def covered_dimensions(rows: list[DiversityRow]) -> dict[str, set[str]]:
+    """The distinct values each diversity axis takes across the suite."""
+    return {
+        "convolution": {r.convolution for r in rows},
+        "aggregation": {r.aggregation for r in rows},
+        "size": {r.size_class for r in rows},
+        "traversal": {r.traversal_class for r in rows},
+    }

@@ -1,0 +1,94 @@
+"""Terminal rendering of the paper's figures (ASCII bar charts).
+
+The benchmark harness and ``examples/reproduce_paper.py`` print tables;
+these helpers render the same data the way the paper presents it — as
+grouped bars — so the shape comparisons (who wins, by how much, where
+the crossovers sit) can be eyeballed in a terminal.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    unit: str = "",
+    log_scale: bool = False,
+    reference: float | None = None,
+) -> str:
+    """Horizontal bar chart.
+
+    ``log_scale`` renders magnitudes spanning decades (the Figure 8
+    speedups range from 0.9x to 74x).  ``reference`` draws a marker
+    column at a value (e.g. speedup = 1).
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("chart needs at least one bar")
+    if any(v < 0 for v in values):
+        raise ValueError("bar values cannot be negative")
+
+    def scaled(value: float) -> float:
+        if log_scale:
+            return math.log10(1.0 + value)
+        return value
+
+    peak = max(scaled(v) for v in values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        length = round(width * scaled(value) / peak)
+        bar = "#" * length
+        if reference is not None and value >= 0:
+            ref_pos = round(width * scaled(reference) / peak)
+            if 0 <= ref_pos <= width:
+                padded = list(bar.ljust(ref_pos + 1))
+                padded[ref_pos] = "|"
+                bar = "".join(padded)
+        lines.append(
+            f"{label.rjust(label_width)}  {bar} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def figure8_chart(cells, config: str, clock_ghz: float = 2.4) -> str:
+    """One third of Figure 8 as a bar chart."""
+    selected = [
+        c for c in cells
+        if c.config == config and c.clock_ghz == clock_ghz
+    ]
+    if not selected:
+        raise ValueError(f"no Figure 8 cells for {config!r} at {clock_ghz}")
+    return bar_chart(
+        labels=[c.benchmark for c in selected],
+        values=[c.speedup for c in selected],
+        title=f"Figure 8 — {config} @ {clock_ghz} GHz (| marks 1x)",
+        unit="x",
+        log_scale=True,
+        reference=1.0,
+    )
+
+
+def figure10_chart(rows) -> str:
+    """Figure 10 as two stacked bar groups."""
+    bandwidth = bar_chart(
+        labels=[r.benchmark for r in rows],
+        values=[100 * r.bandwidth_utilization for r in rows],
+        title="Figure 10 — memory bandwidth utilization (%)",
+        unit="%",
+    )
+    dna = bar_chart(
+        labels=[r.benchmark for r in rows],
+        values=[100 * r.dna_utilization for r in rows],
+        title="Figure 10 — DNA utilization (%)",
+        unit="%",
+    )
+    return bandwidth + "\n\n" + dna

@@ -1,0 +1,80 @@
+"""Figure 8: normalized speedups of the accelerator configurations.
+
+Left third: CPU iso-BW vs the measured CPU latencies; middle: GPU iso-BW
+vs the measured GPU latencies; right: GPU iso-FLOPS vs the measured GPU
+latencies.  Each group sweeps the tile clock (the NoC and memory keep
+their bandwidth, Section VI-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.table7 import baseline_latency_ms
+from repro.eval.accelerator import run_benchmark
+from repro.models.registry import BENCHMARKS
+
+#: (configuration, baseline system) pairs, in Figure 8 order.
+FIGURE8_GROUPS: tuple[tuple[str, str], ...] = (
+    ("CPU iso-BW", "cpu"),
+    ("GPU iso-BW", "gpu"),
+    ("GPU iso-FLOPS", "gpu"),
+)
+
+#: Tile clocks swept in the figure (GHz).
+FIGURE8_CLOCKS: tuple[float, ...] = (1.2, 2.4)
+
+
+@dataclass(frozen=True)
+class Figure8Cell:
+    """One bar of Figure 8."""
+
+    config: str
+    baseline: str
+    benchmark: str
+    clock_ghz: float
+    latency_ms: float
+    baseline_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline latency over simulated accelerator latency."""
+        return self.baseline_ms / self.latency_ms
+
+
+def figure8(
+    clocks: tuple[float, ...] = FIGURE8_CLOCKS,
+    groups: tuple[tuple[str, str], ...] = FIGURE8_GROUPS,
+    benchmarks: tuple[str, ...] | None = None,
+) -> list[Figure8Cell]:
+    """All Figure 8 bars: configs x benchmarks x clocks."""
+    keys = benchmarks or tuple(b.key for b in BENCHMARKS)
+    cells = []
+    for config_name, baseline_system in groups:
+        for key in keys:
+            benchmark = next(b for b in BENCHMARKS if b.key == key)
+            base_ms = baseline_latency_ms(benchmark, baseline_system)
+            for clock in clocks:
+                report = run_benchmark(key, config_name, clock)
+                cells.append(
+                    Figure8Cell(
+                        config=config_name,
+                        baseline=baseline_system,
+                        benchmark=key,
+                        clock_ghz=clock,
+                        latency_ms=report.latency_ms,
+                        baseline_ms=base_ms,
+                    )
+                )
+    return cells
+
+
+def mean_speedup(cells: list[Figure8Cell], config: str, clock_ghz: float) -> float:
+    """Arithmetic-mean speedup of one Figure 8 group at one clock."""
+    selected = [
+        c.speedup for c in cells
+        if c.config == config and c.clock_ghz == clock_ghz
+    ]
+    if not selected:
+        raise ValueError(f"no cells for {config!r} at {clock_ghz} GHz")
+    return sum(selected) / len(selected)

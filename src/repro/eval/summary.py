@@ -1,0 +1,50 @@
+"""Headline metrics: one dictionary that answers "did it reproduce?".
+
+Collects the claims the paper's abstract and Section VI rest on, computed
+from the shared simulation cache.  ``tests/eval/test_summary.py`` asserts
+the README table from this.
+"""
+
+from __future__ import annotations
+
+from repro.eval.section2 import table2
+from repro.eval.speedups import figure8, mean_speedup
+from repro.eval.utilization import figure10
+
+
+def headline_metrics() -> dict[str, float]:
+    """The reproduction's headline numbers.
+
+    Keys:
+
+    * ``cpu_iso_bw_mean_speedup`` — paper: ~18x,
+    * ``gpu_iso_bw_mean_speedup`` — paper: ~7.5x,
+    * ``mpnn_iso_flops_speedup`` — paper: >60x,
+    * ``pgnn_cpu_iso_bw_speedup`` — paper: ~0.89x (a 12% slowdown),
+    * ``pubmed_useful_compute_fraction`` — paper: ~0.02,
+    * ``pgnn_dna_utilization`` — paper: ~0.
+    """
+    # The headlines are all quoted at the 2.4 GHz design point.
+    cells = figure8(clocks=(2.4,))
+    pgnn = next(
+        c for c in cells
+        if c.config == "CPU iso-BW" and c.benchmark == "pgnn-dblp_1"
+        and c.clock_ghz == 2.4
+    )
+    mpnn_flops = next(
+        c for c in cells
+        if c.config == "GPU iso-FLOPS" and c.benchmark == "mpnn-qm9_1000"
+        and c.clock_ghz == 2.4
+    )
+    pubmed = next(r for r in table2() if r.graph == "Pubmed")
+    pgnn_util = next(
+        r for r in figure10() if r.benchmark == "pgnn-dblp_1"
+    )
+    return {
+        "cpu_iso_bw_mean_speedup": mean_speedup(cells, "CPU iso-BW", 2.4),
+        "gpu_iso_bw_mean_speedup": mean_speedup(cells, "GPU iso-BW", 2.4),
+        "mpnn_iso_flops_speedup": mpnn_flops.speedup,
+        "pgnn_cpu_iso_bw_speedup": pgnn.speedup,
+        "pubmed_useful_compute_fraction": pubmed.useful_compute_fraction,
+        "pgnn_dna_utilization": pgnn_util.dna_utilization,
+    }

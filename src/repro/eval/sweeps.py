@@ -1,0 +1,127 @@
+"""Parameter sweeps over the accelerator design space.
+
+Beyond the fixed Figure 8 operating points, users exploring the design
+want curves: latency vs clock, vs memory bandwidth, vs tile count.  Each
+sweep builds derived :class:`~repro.accel.config.AcceleratorConfig`
+instances and simulates one benchmark across them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from repro.accel.config import AcceleratorConfig
+from repro.eval.accelerator import _compiled_program
+from repro.runtime.engine import simulate
+from repro.runtime.report import SimulationReport
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated operating point."""
+
+    parameter: str
+    value: float
+    report: SimulationReport
+
+    @property
+    def latency_ms(self) -> float:
+        return self.report.latency_ms
+
+
+def clock_sweep(
+    benchmark_key: str,
+    config: AcceleratorConfig,
+    clocks_ghz: tuple[float, ...] = (0.6, 1.2, 2.4),
+) -> list[SweepPoint]:
+    """Latency vs tile clock (NoC and memory bandwidth stay fixed)."""
+    program = _compiled_program(benchmark_key)
+    return [
+        SweepPoint(
+            parameter="clock_ghz",
+            value=clock,
+            report=simulate(program, config.with_clock(clock)),
+        )
+        for clock in clocks_ghz
+    ]
+
+
+def bandwidth_sweep(
+    benchmark_key: str,
+    config: AcceleratorConfig,
+    bandwidths_gbps: tuple[float, ...] = (17.0, 34.0, 68.0, 136.0),
+) -> list[SweepPoint]:
+    """Latency vs per-node memory bandwidth."""
+    program = _compiled_program(benchmark_key)
+    points = []
+    for bandwidth in bandwidths_gbps:
+        memory = dataclasses.replace(
+            config.memory, bandwidth_gbps=bandwidth
+        )
+        derived = dataclasses.replace(
+            config,
+            name=f"{config.name} @ {bandwidth:g} GBps",
+            memory=memory,
+        )
+        points.append(
+            SweepPoint(
+                parameter="bandwidth_gbps",
+                value=bandwidth,
+                report=simulate(program, derived),
+            )
+        )
+    return points
+
+
+def tile_sweep(
+    benchmark_key: str,
+    tile_counts: tuple[int, ...] = (1, 2, 4, 8),
+    base: AcceleratorConfig | None = None,
+) -> list[SweepPoint]:
+    """Latency vs tile+memory pair count (adjacent column pairs)."""
+    from repro.accel.config import CPU_ISO_BW
+
+    template = base or CPU_ISO_BW
+    program = _compiled_program(benchmark_key)
+    points = []
+    for pairs in tile_counts:
+        config = AcceleratorConfig(
+            name=f"{pairs}-pair",
+            mesh_width=2,
+            mesh_height=pairs,
+            tile_coords=tuple((1, y) for y in range(pairs)),
+            memory_coords=tuple((0, y) for y in range(pairs)),
+            tile=template.tile,
+            memory=template.memory,
+            noc=template.noc,
+            clock_ghz=template.clock_ghz,
+        )
+        points.append(
+            SweepPoint(
+                parameter="tiles",
+                value=float(pairs),
+                report=simulate(program, config),
+            )
+        )
+    return points
+
+
+def bound_analysis(points: list[SweepPoint]) -> str:
+    """Classify what a clock sweep says about the workload.
+
+    If doubling the clock roughly halves latency the workload is
+    compute-bound ("scales"); if latency barely moves it is memory- or
+    NoC-bound ("flat"); in between, "mixed".
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two sweep points")
+    ordered = sorted(points, key=lambda p: p.value)
+    first, last = ordered[0], ordered[-1]
+    speedup = first.report.latency_ns / last.report.latency_ns
+    scale = last.value / first.value
+    if speedup > 0.8 * scale:
+        return "scales"
+    if speedup < 1.25:
+        return "flat"
+    return "mixed"

@@ -1,0 +1,58 @@
+"""Graph substrate: CSR graphs, synthetic generators, and the paper's datasets.
+
+The paper evaluates on Cora, Citeseer, Pubmed (citation graphs), the first
+1000 molecules of QM9, and a DBLP collaboration subgraph (Table V).  Real
+copies of those datasets are not available offline, so this package provides
+deterministic synthetic generators whose outputs match Table V exactly in
+node count, edge count, and feature widths, and match the source graphs'
+degree-distribution character (see DESIGN.md section 2).
+"""
+
+from repro.graphs.graph import Graph, GraphSet
+from repro.graphs.generators import (
+    citation_graph,
+    collaboration_graph,
+    molecule_graph_set,
+)
+from repro.graphs.datasets import (
+    DATASETS,
+    DatasetStats,
+    cora,
+    citeseer,
+    pubmed,
+    qm9_1000,
+    dblp_1,
+    load_dataset,
+    dataset_statistics,
+)
+from repro.graphs.ordering import bfs_order, degree_order, relabel
+from repro.graphs.stats import (
+    GraphStats,
+    clustering_coefficient,
+    graph_stats,
+    power_law_alpha,
+)
+
+__all__ = [
+    "Graph",
+    "GraphSet",
+    "citation_graph",
+    "collaboration_graph",
+    "molecule_graph_set",
+    "DATASETS",
+    "DatasetStats",
+    "cora",
+    "citeseer",
+    "pubmed",
+    "qm9_1000",
+    "dblp_1",
+    "load_dataset",
+    "dataset_statistics",
+    "bfs_order",
+    "degree_order",
+    "relabel",
+    "GraphStats",
+    "graph_stats",
+    "power_law_alpha",
+    "clustering_coefficient",
+]

@@ -1,0 +1,65 @@
+"""Reference GNN model implementations and workload extraction.
+
+The paper evaluates four GNN benchmarks (Section V): GCN, GAT, MPNN, and
+PGNN.  Each model here provides
+
+* ``forward(graph)`` — a numerically correct numpy inference pass, and
+* ``workload(graph)`` — an analytical description of the operations the
+  pass performs (dense matmuls, sparse aggregations, graph traversals),
+  consumed by the DNN-accelerator study, the CPU/GPU baseline models, and
+  the accelerator compiler.
+"""
+
+from repro.models.activations import (
+    elu,
+    leaky_relu,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.models.workload import (
+    DenseMatmul,
+    EdgeAggregation,
+    Elementwise,
+    ModelWorkload,
+    Traversal,
+)
+from repro.models.base import GNNModel
+from repro.models.gcn import GCN
+from repro.models.gat import GAT
+from repro.models.mpnn import MPNN
+from repro.models.pgnn import PGNN
+from repro.models.sage import GraphSAGE
+from repro.models.registry import (
+    BENCHMARKS,
+    Benchmark,
+    benchmark_model,
+    benchmark_workload,
+    load_benchmark,
+)
+
+__all__ = [
+    "relu",
+    "elu",
+    "leaky_relu",
+    "sigmoid",
+    "softmax",
+    "tanh",
+    "DenseMatmul",
+    "EdgeAggregation",
+    "Elementwise",
+    "ModelWorkload",
+    "Traversal",
+    "GNNModel",
+    "GCN",
+    "GAT",
+    "MPNN",
+    "PGNN",
+    "GraphSAGE",
+    "BENCHMARKS",
+    "Benchmark",
+    "benchmark_model",
+    "benchmark_workload",
+    "load_benchmark",
+]

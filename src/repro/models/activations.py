@@ -1,0 +1,42 @@
+"""Nonlinear activation functions used by the GNN benchmarks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def leaky_relu(x: np.ndarray, negative_slope: float = 0.2) -> np.ndarray:
+    """Leaky ReLU; the GAT attention uses slope 0.2."""
+    return np.where(x >= 0, x, negative_slope * x)
+
+
+def elu(x: np.ndarray, alpha: float = 1.0) -> np.ndarray:
+    """Exponential linear unit (GAT hidden activation)."""
+    return np.where(x >= 0, x, alpha * (np.exp(np.minimum(x, 0.0)) - 1.0))
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out.astype(x.dtype) if x.dtype.kind == "f" else out
+
+
+def tanh(x: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent (GRU candidate activation in MPNN)."""
+    return np.tanh(x)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return exps / np.sum(exps, axis=axis, keepdims=True)

@@ -1,0 +1,48 @@
+"""Abstract base class for the GNN benchmark models."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphSet
+from repro.models.workload import ModelWorkload
+
+
+class GNNModel(ABC):
+    """A GNN inference model.
+
+    Subclasses implement a numerically correct numpy ``forward`` pass and
+    an analytical ``workload`` extraction.  Models are constructed for a
+    particular input feature width (matching the dataset they run on) with
+    deterministic, seeded weights.
+    """
+
+    #: Model family name used in result tables ("GCN", "GAT", ...).
+    name: str = "GNN"
+
+    @abstractmethod
+    def forward(self, graph: Graph | GraphSet) -> np.ndarray:
+        """Run one inference pass and return the output features."""
+
+    @abstractmethod
+    def workload(self, graph: Graph | GraphSet) -> ModelWorkload:
+        """Describe the operations one inference pass performs."""
+
+    @staticmethod
+    def _graph_name(graph: Graph | GraphSet) -> str:
+        return graph.name or type(graph).__name__
+
+    @staticmethod
+    def _init_weight(
+        rng: np.random.Generator, fan_in: int, fan_out: int
+    ) -> np.ndarray:
+        """Glorot-uniform weight initialization."""
+        limit = np.sqrt(6.0 / (fan_in + fan_out))
+        return rng.uniform(-limit, limit, size=(fan_in, fan_out)).astype(
+            np.float32
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"

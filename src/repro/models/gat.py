@@ -1,0 +1,208 @@
+"""Graph Attention Network (Velickovic et al., 2017).
+
+Spatial ConvGNN with per-edge self-attention.  The reference Cora
+configuration is used: 8 attention heads of width 8 in the first layer
+(ELU), one head in the output layer.
+
+The paper's evaluation removes the attention normalization (softmax) step
+to match the accelerator implementation ("the attention normalization step
+was removed", Section VI), so ``normalize=False`` is the default; the full
+softmax-normalized variant is available with ``normalize=True``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.models.activations import elu, leaky_relu, softmax
+from repro.models.base import GNNModel
+from repro.models.workload import (
+    DenseMatmul,
+    EdgeAggregation,
+    Elementwise,
+    ModelWorkload,
+    Traversal,
+)
+
+
+def _edge_endpoints(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
+    """(dst, src) arrays for every stored directed edge plus self loops.
+
+    ``dst`` receives the aggregated message; ``src`` supplies it.  Self
+    loops are appended so every vertex attends to itself, as in the
+    reference implementation.
+    """
+    dst = np.repeat(np.arange(graph.num_nodes), np.diff(graph.indptr))
+    src = graph.indices
+    loops = np.arange(graph.num_nodes)
+    return np.concatenate([dst, loops]), np.concatenate([src, loops])
+
+
+class GATLayer:
+    """One multi-head attention layer."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        num_heads: int,
+        rng: np.random.Generator,
+        activation: str = "elu",
+        normalize: bool = False,
+    ) -> None:
+        self.in_features = in_features
+        self.out_features = out_features
+        self.num_heads = num_heads
+        self.activation = activation
+        self.normalize = normalize
+        limit = np.sqrt(6.0 / (in_features + out_features))
+        self.weight = rng.uniform(
+            -limit, limit, size=(num_heads, in_features, out_features)
+        ).astype(np.float32)
+        self.attn_src = rng.uniform(
+            -limit, limit, size=(num_heads, out_features)
+        ).astype(np.float32)
+        self.attn_dst = rng.uniform(
+            -limit, limit, size=(num_heads, out_features)
+        ).astype(np.float32)
+
+    def forward(self, graph: Graph, x: np.ndarray) -> np.ndarray:
+        """Apply the layer; heads are concatenated on the feature axis."""
+        dst, src = _edge_endpoints(graph)
+        outputs = []
+        for head in range(self.num_heads):
+            h = x @ self.weight[head]  # (N, F')
+            score_src = h @ self.attn_src[head]  # contribution of the sender
+            score_dst = h @ self.attn_dst[head]  # contribution of the receiver
+            e = leaky_relu(score_dst[dst] + score_src[src])
+            if self.normalize:
+                coeff = _segment_softmax(e, dst, graph.num_nodes)
+            else:
+                coeff = e
+            out = np.zeros_like(h)
+            np.add.at(out, dst, coeff[:, None] * h[src])
+            outputs.append(out)
+        stacked = np.concatenate(outputs, axis=1)
+        if self.activation == "elu":
+            return elu(stacked)
+        if self.activation == "softmax":
+            return softmax(stacked, axis=1)
+        return stacked
+
+    def workload_ops(self, graph: Graph):
+        """Analytical op list for this layer."""
+        n = graph.num_nodes
+        edges = graph.nnz + n  # directed edges plus self loops
+        width = self.num_heads * self.out_features
+        ops = [
+            DenseMatmul(
+                m=n, k=self.in_features, n=width, label="gat.project"
+            ),
+            # Two attention dot products per head per vertex.
+            DenseMatmul(m=n, k=width, n=2, label="gat.attn_scores"),
+            # Per-edge score combine + LeakyReLU, per head.
+            Elementwise(
+                size=edges * self.num_heads,
+                flops_per_element=2.0,
+                label="gat.edge_scores",
+            ),
+            EdgeAggregation(
+                num_inputs=edges,
+                num_outputs=n,
+                width=width,
+                op="sum",
+                weighted=True,
+                label="gat.aggregate",
+            ),
+            Traversal(
+                num_vertices=n,
+                num_visits=graph.nnz,
+                hops=1,
+                state_bytes=0,
+                label="gat.traverse",
+            ),
+            Elementwise(
+                size=n * width, flops_per_element=2.0, label="gat.activation"
+            ),
+        ]
+        if self.normalize:
+            ops.append(
+                Elementwise(
+                    size=edges * self.num_heads,
+                    flops_per_element=3.0,
+                    label="gat.attn_softmax",
+                )
+            )
+        return ops
+
+
+def _segment_softmax(
+    scores: np.ndarray, segments: np.ndarray, num_segments: int
+) -> np.ndarray:
+    """Softmax of ``scores`` within each segment id (stable)."""
+    seg_max = np.full(num_segments, -np.inf, dtype=scores.dtype)
+    np.maximum.at(seg_max, segments, scores)
+    shifted = scores - seg_max[segments]
+    exps = np.exp(shifted)
+    seg_sum = np.zeros(num_segments, dtype=scores.dtype)
+    np.add.at(seg_sum, segments, exps)
+    return exps / seg_sum[segments]
+
+
+class GAT(GNNModel):
+    """Two-layer GAT (8 heads of 8, then 1 head of ``out_features``)."""
+
+    name = "GAT"
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int = 8,
+        out_features: int = 7,
+        num_heads: int = 8,
+        normalize: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if min(in_features, hidden_features, out_features, num_heads) < 1:
+            raise ValueError("dimensions must be positive")
+        self.in_features = in_features
+        self.normalize = normalize
+        rng = np.random.default_rng(seed)
+        self.layers = [
+            GATLayer(
+                in_features,
+                hidden_features,
+                num_heads,
+                rng,
+                activation="elu",
+                normalize=normalize,
+            ),
+            GATLayer(
+                hidden_features * num_heads,
+                out_features,
+                1,
+                rng,
+                activation="softmax",
+                normalize=normalize,
+            ),
+        ]
+
+    def forward(self, graph: Graph) -> np.ndarray:
+        """Class probabilities, shape ``(num_nodes, out_features)``."""
+        if graph.num_node_features != self.in_features:
+            raise ValueError(
+                f"graph has {graph.num_node_features} features, model expects "
+                f"{self.in_features}"
+            )
+        x = graph.node_features
+        for layer in self.layers:
+            x = layer.forward(graph, x)
+        return x
+
+    def workload(self, graph: Graph) -> ModelWorkload:
+        """Operation list across both attention layers."""
+        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
+        for layer in self.layers:
+            work.extend(layer.workload_ops(graph))
+        return work

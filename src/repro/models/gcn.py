@@ -1,0 +1,125 @@
+"""Graph Convolutional Network (Kipf & Welling, 2016).
+
+The spectral ConvGNN the paper uses for its Section II motivation study
+and as its first benchmark.  Two layers::
+
+    H1 = ReLU(Ahat @ X @ W0)
+    Y  = softmax(Ahat @ H1 @ W1)
+
+where ``Ahat = D^-1/2 (A + I) D^-1/2``.  The reference implementation uses
+a 16-wide hidden layer, which we keep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.models.activations import relu, softmax
+from repro.models.base import GNNModel
+from repro.models.workload import (
+    DenseMatmul,
+    EdgeAggregation,
+    Elementwise,
+    ModelWorkload,
+    Traversal,
+)
+
+
+class GCN(GNNModel):
+    """Two-layer GCN with seeded Glorot weights.
+
+    Parameters
+    ----------
+    in_features:
+        Width of the input vertex features (dataset-dependent).
+    hidden_features:
+        Hidden layer width; the reference implementation uses 16.
+    out_features:
+        Number of output classes (Table V "Output Feat.").
+    seed:
+        Weight initialization seed.
+    """
+
+    name = "GCN"
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int = 16,
+        out_features: int = 7,
+        seed: int = 0,
+    ) -> None:
+        if min(in_features, hidden_features, out_features) < 1:
+            raise ValueError("feature widths must be positive")
+        self.in_features = in_features
+        self.hidden_features = hidden_features
+        self.out_features = out_features
+        rng = np.random.default_rng(seed)
+        self.w0 = self._init_weight(rng, in_features, hidden_features)
+        self.w1 = self._init_weight(rng, hidden_features, out_features)
+
+    @property
+    def layer_dims(self) -> list[tuple[int, int]]:
+        """(in, out) width of each projection."""
+        return [
+            (self.in_features, self.hidden_features),
+            (self.hidden_features, self.out_features),
+        ]
+
+    def forward(self, graph: Graph) -> np.ndarray:
+        """Class probabilities, shape ``(num_nodes, out_features)``."""
+        if graph.num_node_features != self.in_features:
+            raise ValueError(
+                f"graph has {graph.num_node_features} features, model expects "
+                f"{self.in_features}"
+            )
+        a_hat = graph.normalized_adjacency()
+        h = relu(a_hat @ (graph.node_features @ self.w0))
+        logits = a_hat @ (h @ self.w1)
+        return softmax(logits, axis=1)
+
+    def workload(self, graph: Graph) -> ModelWorkload:
+        """Operation list: project-then-propagate per layer.
+
+        The projection is done before propagation (the cheaper order when
+        the hidden width is smaller than the input width, which every
+        implementation including the paper's accelerator mapping uses).
+        """
+        n = graph.num_nodes
+        # Propagation operates on A + I: every directed edge plus the
+        # self-loop contributes one weighted input per vertex.
+        agg_inputs = graph.nnz + n
+        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
+        for i, (f_in, f_out) in enumerate(self.layer_dims):
+            work.add(
+                DenseMatmul(m=n, k=f_in, n=f_out, label=f"layer{i}.project")
+            )
+            work.add(
+                EdgeAggregation(
+                    num_inputs=agg_inputs,
+                    num_outputs=n,
+                    width=f_out,
+                    op="sum",
+                    weighted=True,
+                    label=f"layer{i}.propagate",
+                )
+            )
+            work.add(
+                Traversal(
+                    num_vertices=n,
+                    num_visits=graph.nnz,
+                    hops=1,
+                    state_bytes=0,
+                    label=f"layer{i}.traverse",
+                )
+            )
+            activation_flops = 1.0 if i == 0 else 3.0  # ReLU vs softmax
+            work.add(
+                Elementwise(
+                    size=n * f_out,
+                    flops_per_element=activation_flops,
+                    label=f"layer{i}.activation",
+                )
+            )
+        return work

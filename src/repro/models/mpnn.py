@@ -1,0 +1,226 @@
+"""Message Passing Neural Network (Gilmer et al., 2017).
+
+Spatial GNN for molecular property regression.  Our configuration follows
+the quantum-chemistry reference implementation:
+
+* input projection of the 13 atom features to a ``d``-wide hidden state,
+* an *edge network* message function — a small MLP maps each bond's 5
+  edge features to a ``d x d`` matrix ``A_e``; the message along an edge
+  is ``A_e @ h_src``,
+* ``T`` message-passing steps with a GRU state update, and
+* a gated (GGNN-style) graph-level readout producing 73 outputs.
+
+The hidden width ``d`` defaults to the 73 output features of Table V.
+The per-edge matrices are computed once (edge features are static) and
+re-read every step — the dominant memory stream of this benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph, GraphSet
+from repro.models.activations import sigmoid, tanh
+from repro.models.base import GNNModel
+from repro.models.workload import (
+    DenseMatmul,
+    EdgeAggregation,
+    Elementwise,
+    ModelWorkload,
+    Traversal,
+)
+
+
+class GRUCell:
+    """Minimal GRU used as the MPNN vertex-state update."""
+
+    def __init__(self, dim: int, rng: np.random.Generator) -> None:
+        limit = np.sqrt(6.0 / (2 * dim))
+        shape = (dim, 3 * dim)
+        self.w_input = rng.uniform(-limit, limit, size=shape).astype(np.float32)
+        self.w_hidden = rng.uniform(-limit, limit, size=shape).astype(np.float32)
+        self.bias = np.zeros(3 * dim, dtype=np.float32)
+        self.dim = dim
+
+    def forward(self, message: np.ndarray, state: np.ndarray) -> np.ndarray:
+        """One GRU step: ``state' = GRU(state, message)``."""
+        d = self.dim
+        gates_in = message @ self.w_input + self.bias
+        gates_h = state @ self.w_hidden
+        update = sigmoid(gates_in[:, :d] + gates_h[:, :d])
+        reset = sigmoid(gates_in[:, d : 2 * d] + gates_h[:, d : 2 * d])
+        candidate = tanh(
+            gates_in[:, 2 * d :] + reset * gates_h[:, 2 * d :]
+        )
+        return (1.0 - update) * state + update * candidate
+
+
+class MPNN(GNNModel):
+    """Edge-network MPNN with GRU updates and gated readout."""
+
+    name = "MPNN"
+
+    def __init__(
+        self,
+        node_features: int = 13,
+        edge_features: int = 5,
+        hidden: int = 73,
+        out_features: int = 73,
+        steps: int = 3,
+        edge_mlp_hidden: int = 128,
+        seed: int = 0,
+    ) -> None:
+        if steps < 1:
+            raise ValueError("steps must be >= 1")
+        self.node_features = node_features
+        self.edge_features = edge_features
+        self.hidden = hidden
+        self.out_features = out_features
+        self.steps = steps
+        self.edge_mlp_hidden = edge_mlp_hidden
+        rng = np.random.default_rng(seed)
+        self.w_in = self._init_weight(rng, node_features, hidden)
+        self.w_edge1 = self._init_weight(rng, edge_features, edge_mlp_hidden)
+        self.w_edge2 = self._init_weight(rng, edge_mlp_hidden, hidden * hidden)
+        self.gru = GRUCell(hidden, rng)
+        self.w_gate = self._init_weight(rng, 2 * hidden, out_features)
+        self.w_out = self._init_weight(rng, hidden, out_features)
+
+    # -- inference --------------------------------------------------------
+
+    def _forward_one(self, graph: Graph) -> np.ndarray:
+        """Readout vector for a single molecule."""
+        if graph.num_edge_features != self.edge_features:
+            raise ValueError(
+                f"graph has {graph.num_edge_features} edge features, model "
+                f"expects {self.edge_features}"
+            )
+        d = self.hidden
+        h0 = graph.node_features @ self.w_in  # (n, d)
+        h = h0
+        # Per-edge message matrices, computed once from the edge features.
+        dst = np.repeat(np.arange(graph.num_nodes), np.diff(graph.indptr))
+        src = graph.indices
+        edge_hidden = np.maximum(graph.edge_features @ self.w_edge1, 0.0)
+        edge_mats = (edge_hidden @ self.w_edge2).reshape(-1, d, d)
+        for _ in range(self.steps):
+            messages = np.einsum("eij,ej->ei", edge_mats, h[src])
+            agg = np.zeros_like(h)
+            np.add.at(agg, dst, messages)
+            h = self.gru.forward(agg, h)
+        gate = sigmoid(np.concatenate([h, h0], axis=1) @ self.w_gate)
+        return np.sum(gate * (h @ self.w_out), axis=0)
+
+    def forward(self, graph: Graph | GraphSet) -> np.ndarray:
+        """Per-graph outputs, shape ``(num_graphs, out_features)``."""
+        graphs = graph.graphs if isinstance(graph, GraphSet) else [graph]
+        outputs = [self._forward_one(g) for g in graphs]
+        return np.stack(outputs, axis=0)
+
+    # -- workload ----------------------------------------------------------
+
+    def workload(self, graph: Graph | GraphSet) -> ModelWorkload:
+        """Operation list aggregated over the whole graph set."""
+        graphs = graph.graphs if isinstance(graph, GraphSet) else [graph]
+        total_nodes = sum(g.num_nodes for g in graphs)
+        directed_edges = sum(g.nnz for g in graphs)
+        num_graphs = len(graphs)
+        d = self.hidden
+        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
+        work.add(
+            DenseMatmul(
+                m=total_nodes, k=self.node_features, n=d, label="mpnn.embed"
+            )
+        )
+        # Edge network, evaluated once per directed edge.
+        work.add(
+            DenseMatmul(
+                m=directed_edges,
+                k=self.edge_features,
+                n=self.edge_mlp_hidden,
+                label="mpnn.edge_mlp1",
+            )
+        )
+        work.add(
+            DenseMatmul(
+                m=directed_edges,
+                k=self.edge_mlp_hidden,
+                n=d * d,
+                label="mpnn.edge_mlp2",
+            )
+        )
+        # Message passing: a per-edge matvec with a *per-edge* matrix (the
+        # matrix is data, not a resident weight, so it is re-read each step).
+        work.add(
+            DenseMatmul(
+                m=1,
+                k=d,
+                n=d,
+                count=directed_edges * self.steps,
+                weight_resident=False,
+                label="mpnn.messages",
+            )
+        )
+        work.add(
+            EdgeAggregation(
+                num_inputs=directed_edges,
+                num_outputs=total_nodes,
+                width=d,
+                op="sum",
+                count=self.steps,
+                label="mpnn.aggregate",
+            )
+        )
+        # GRU: input and hidden projections to the three gates, per step.
+        work.add(
+            DenseMatmul(
+                m=total_nodes, k=d, n=3 * d, count=self.steps,
+                label="mpnn.gru_input",
+            )
+        )
+        work.add(
+            DenseMatmul(
+                m=total_nodes, k=d, n=3 * d, count=self.steps,
+                label="mpnn.gru_hidden",
+            )
+        )
+        work.add(
+            Elementwise(
+                size=total_nodes * d,
+                flops_per_element=10.0,
+                count=self.steps,
+                label="mpnn.gru_pointwise",
+            )
+        )
+        # Gated readout.
+        work.add(
+            DenseMatmul(
+                m=total_nodes, k=2 * d, n=self.out_features,
+                label="mpnn.readout_gate",
+            )
+        )
+        work.add(
+            DenseMatmul(
+                m=total_nodes, k=d, n=self.out_features, label="mpnn.readout"
+            )
+        )
+        work.add(
+            EdgeAggregation(
+                num_inputs=total_nodes,
+                num_outputs=num_graphs,
+                width=self.out_features,
+                op="sum",
+                label="mpnn.readout_sum",
+            )
+        )
+        work.add(
+            Traversal(
+                num_vertices=total_nodes,
+                num_visits=directed_edges,
+                hops=1,
+                state_bytes=d * 4,
+                count=self.steps,
+                label="mpnn.traverse",
+            )
+        )
+        return work

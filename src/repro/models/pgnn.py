@@ -1,0 +1,176 @@
+"""Power Graph Neural Network (Chen, Li & Bruna, 2017).
+
+The multi-hop convolution component of the Line Graph Neural Network used
+for community detection.  Each layer combines a family of graph operators
+applied to the vertex state::
+
+    z' = act( sum_{P in {I, D, A, A^2}}  P @ z @ W_P )
+
+where ``D`` is the degree diagonal and ``A^2`` is applied as two successive
+sparse propagations (never materialized — on the accelerator this is the
+2-hop dependent traversal that makes PGNN GPE-bound, Section VI-A).
+
+The DBLP extract has no vertex features; the reference implementation uses
+the vertex degree as a single-element state, which :func:`repro.graphs.dblp_1`
+replicates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.models.activations import relu, softmax
+from repro.models.base import GNNModel
+from repro.models.workload import (
+    DenseMatmul,
+    EdgeAggregation,
+    Elementwise,
+    ModelWorkload,
+    Traversal,
+)
+
+#: Graph-operator family: exponent of A, with D handled separately.
+_OPERATORS = ("identity", "degree", "adjacency", "adjacency_squared")
+
+
+class PGNN(GNNModel):
+    """Multi-hop power-graph convolution network.
+
+    Parameters
+    ----------
+    in_features:
+        Input state width (1 for the degree state of DBLP).
+    hidden_features:
+        Width of the intermediate layers.
+    out_features:
+        Number of output communities.
+    num_layers:
+        Total layers including the output layer.
+    """
+
+    name = "PGNN"
+
+    def __init__(
+        self,
+        in_features: int = 1,
+        hidden_features: int = 8,
+        out_features: int = 3,
+        num_layers: int = 3,
+        seed: int = 0,
+    ) -> None:
+        if num_layers < 1:
+            raise ValueError("num_layers must be >= 1")
+        self.in_features = in_features
+        self.hidden_features = hidden_features
+        self.out_features = out_features
+        self.num_layers = num_layers
+        rng = np.random.default_rng(seed)
+        self.weights: list[dict[str, np.ndarray]] = []
+        dims = self.layer_dims
+        for f_in, f_out in dims:
+            self.weights.append(
+                {
+                    op: self._init_weight(rng, f_in, f_out)
+                    for op in _OPERATORS
+                }
+            )
+
+    @property
+    def layer_dims(self) -> list[tuple[int, int]]:
+        """(in, out) width of each layer."""
+        widths = (
+            [self.in_features]
+            + [self.hidden_features] * (self.num_layers - 1)
+            + [self.out_features]
+        )
+        return list(zip(widths[:-1], widths[1:]))
+
+    def forward(self, graph: Graph) -> np.ndarray:
+        """Community probabilities, shape ``(num_nodes, out_features)``."""
+        if graph.num_node_features != self.in_features:
+            raise ValueError(
+                f"graph has {graph.num_node_features} features, model expects "
+                f"{self.in_features}"
+            )
+        adjacency = graph.adjacency()
+        degree = graph.degrees().astype(np.float32)[:, None]
+        z = graph.node_features
+        for i, weight in enumerate(self.weights):
+            projected = {op: z @ weight[op] for op in _OPERATORS}
+            propagated = adjacency @ projected["adjacency"]
+            two_hop = adjacency @ (adjacency @ projected["adjacency_squared"])
+            combined = (
+                projected["identity"]
+                + degree * projected["degree"]
+                + propagated
+                + two_hop
+            )
+            if i < len(self.weights) - 1:
+                z = relu(combined)
+            else:
+                z = softmax(combined, axis=1)
+        return z
+
+    def two_hop_visits(self, graph: Graph) -> int:
+        """Edge-endpoint touches of one ``A^2 @ z`` evaluation.
+
+        Expanding the 2-hop neighbourhood of every vertex touches
+        ``sum_u deg(u)^2`` endpoints; this is the pointer-chasing work the
+        GPE must sequence.
+        """
+        degrees = graph.degrees().astype(np.int64)
+        return int(np.sum(degrees * degrees))
+
+    def workload(self, graph: Graph) -> ModelWorkload:
+        """Operation list across all layers and operators."""
+        n = graph.num_nodes
+        nnz = graph.nnz
+        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
+        for i, (f_in, f_out) in enumerate(self.layer_dims):
+            # One small projection per operator in the family.
+            work.add(
+                DenseMatmul(
+                    m=n, k=f_in, n=f_out, count=len(_OPERATORS),
+                    label=f"pgnn{i}.project",
+                )
+            )
+            # Degree scaling of the D-branch.
+            work.add(
+                Elementwise(
+                    size=n * f_out, flops_per_element=1.0,
+                    label=f"pgnn{i}.degree_scale",
+                )
+            )
+            # A-branch: one propagation; A^2-branch: two.
+            work.add(
+                EdgeAggregation(
+                    num_inputs=nnz, num_outputs=n, width=f_out,
+                    count=3, label=f"pgnn{i}.propagate",
+                )
+            )
+            # Combine the four branches plus activation.
+            work.add(
+                Elementwise(
+                    size=n * f_out, flops_per_element=4.0,
+                    label=f"pgnn{i}.combine",
+                )
+            )
+            # 1-hop traversal for the A branch, dependent 2-hop expansion
+            # for the A^2 branch.
+            work.add(
+                Traversal(
+                    num_vertices=n, num_visits=nnz, hops=1,
+                    state_bytes=f_out * 4, label=f"pgnn{i}.traverse1",
+                )
+            )
+            work.add(
+                Traversal(
+                    num_vertices=n,
+                    num_visits=self.two_hop_visits(graph),
+                    hops=2,
+                    state_bytes=f_out * 4,
+                    label=f"pgnn{i}.traverse2",
+                )
+            )
+        return work

@@ -1,0 +1,108 @@
+"""The paper's benchmark suite (Table VII rows).
+
+Six (model, input graph) pairs are evaluated throughout the paper:
+
+====== =========== =========================================
+Model  Input graph Notes
+====== =========== =========================================
+GCN    Cora        spectral ConvGNN, 16-wide hidden
+GCN    Citeseer
+GCN    Pubmed
+GAT    Cora        8 heads x 8, attention normalization off
+MPNN   QM9_1000    edge-network messages, GRU, T=3
+PGNN   DBLP_1      power-graph convolution, degree state
+====== =========== =========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graphs.datasets import DATASETS, load_dataset
+from repro.graphs.graph import Graph, GraphSet
+from repro.models.base import GNNModel
+from repro.models.gat import GAT
+from repro.models.gcn import GCN
+from repro.models.mpnn import MPNN
+from repro.models.pgnn import PGNN
+from repro.models.workload import ModelWorkload
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One benchmark row: a model family applied to one input dataset."""
+
+    model: str
+    dataset: str
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``"gcn-cora"``."""
+        return f"{self.model.lower()}-{self.dataset.lower()}"
+
+    def __str__(self) -> str:
+        return f"{self.model} {DATASETS[self.dataset.lower()].name}"
+
+
+#: Table VII benchmark rows, in paper order.
+BENCHMARKS: tuple[Benchmark, ...] = (
+    Benchmark("GCN", "cora"),
+    Benchmark("GCN", "citeseer"),
+    Benchmark("GCN", "pubmed"),
+    Benchmark("GAT", "cora"),
+    Benchmark("MPNN", "qm9_1000"),
+    Benchmark("PGNN", "dblp_1"),
+)
+
+
+def benchmark_model(benchmark: Benchmark, seed: int = 0) -> GNNModel:
+    """Construct the model for a benchmark, sized to its dataset."""
+    stats = DATASETS[benchmark.dataset.lower()]
+    model = benchmark.model.upper()
+    if model == "GCN":
+        return GCN(
+            in_features=stats.vertex_features,
+            hidden_features=16,
+            out_features=stats.output_features,
+            seed=seed,
+        )
+    if model == "GAT":
+        return GAT(
+            in_features=stats.vertex_features,
+            hidden_features=8,
+            out_features=stats.output_features,
+            num_heads=8,
+            normalize=False,
+            seed=seed,
+        )
+    if model == "MPNN":
+        return MPNN(
+            node_features=stats.vertex_features,
+            edge_features=stats.edge_features,
+            hidden=stats.output_features,
+            out_features=stats.output_features,
+            steps=3,
+            seed=seed,
+        )
+    if model == "PGNN":
+        return PGNN(
+            in_features=stats.vertex_features,
+            hidden_features=8,
+            out_features=stats.output_features,
+            num_layers=3,
+            seed=seed,
+        )
+    raise KeyError(f"unknown model family {benchmark.model!r}")
+
+
+def load_benchmark(
+    benchmark: Benchmark, seed: int = 0
+) -> tuple[GNNModel, Graph | GraphSet]:
+    """Model plus input data for a benchmark."""
+    return benchmark_model(benchmark, seed=seed), load_dataset(benchmark.dataset)
+
+
+def benchmark_workload(benchmark: Benchmark, seed: int = 0) -> ModelWorkload:
+    """Analytical workload of one benchmark inference pass."""
+    model, data = load_benchmark(benchmark, seed=seed)
+    return model.workload(data)

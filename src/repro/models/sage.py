@@ -1,0 +1,136 @@
+"""GraphSAGE (Hamilton et al., 2017) — extension beyond the paper.
+
+The paper's benchmark set predates sampling-based GNNs; GraphSAGE is the
+canonical one and exercises a behaviour none of the four paper models do:
+the per-vertex work is *bounded* by the neighbour sample size rather than
+the true degree, which changes which hardware unit saturates.  Layer::
+
+    h'_v = act( W @ [ h_v ; mean_{u in sample(N(v), s)} h_u ] )
+
+Sampling uses a seeded RNG so inference is deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.models.activations import relu, softmax
+from repro.models.base import GNNModel
+from repro.models.workload import (
+    DenseMatmul,
+    EdgeAggregation,
+    Elementwise,
+    ModelWorkload,
+    Traversal,
+)
+
+
+class GraphSAGE(GNNModel):
+    """Two-layer mean-aggregator GraphSAGE with neighbour sampling."""
+
+    name = "GraphSAGE"
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int = 32,
+        out_features: int = 7,
+        sample_size: int = 10,
+        seed: int = 0,
+    ) -> None:
+        if min(in_features, hidden_features, out_features) < 1:
+            raise ValueError("feature widths must be positive")
+        if sample_size < 1:
+            raise ValueError("sample size must be >= 1")
+        self.in_features = in_features
+        self.hidden_features = hidden_features
+        self.out_features = out_features
+        self.sample_size = sample_size
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.w0 = self._init_weight(rng, 2 * in_features, hidden_features)
+        self.w1 = self._init_weight(rng, 2 * hidden_features, out_features)
+
+    @property
+    def layer_dims(self) -> list[tuple[int, int]]:
+        """(in, out) widths per layer (input width before concatenation)."""
+        return [
+            (self.in_features, self.hidden_features),
+            (self.hidden_features, self.out_features),
+        ]
+
+    def _sampled_neighbors(self, graph: Graph, layer: int) -> list[np.ndarray]:
+        """Deterministic per-vertex neighbour samples for one layer."""
+        rng = np.random.default_rng((self.seed, layer, graph.num_nodes))
+        samples = []
+        for v in range(graph.num_nodes):
+            neighbors = graph.neighbors(v)
+            if len(neighbors) == 0:
+                samples.append(np.array([v]))  # fall back to self
+            elif len(neighbors) <= self.sample_size:
+                samples.append(neighbors)
+            else:
+                samples.append(
+                    rng.choice(neighbors, size=self.sample_size,
+                               replace=False)
+                )
+        return samples
+
+    def forward(self, graph: Graph) -> np.ndarray:
+        """Class probabilities, shape ``(num_nodes, out_features)``."""
+        if graph.num_node_features != self.in_features:
+            raise ValueError(
+                f"graph has {graph.num_node_features} features, model "
+                f"expects {self.in_features}"
+            )
+        h = graph.node_features
+        for layer, weight in enumerate((self.w0, self.w1)):
+            samples = self._sampled_neighbors(graph, layer)
+            aggregated = np.stack(
+                [h[sample].mean(axis=0) for sample in samples]
+            )
+            combined = np.concatenate([h, aggregated], axis=1)
+            z = combined @ weight
+            h = relu(z) if layer == 0 else softmax(z, axis=1)
+        return h
+
+    def workload(self, graph: Graph) -> ModelWorkload:
+        """Operation list; sampled gathers bound the per-vertex work."""
+        n = graph.num_nodes
+        degrees = graph.degrees()
+        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
+        for layer, (f_in, f_out) in enumerate(self.layer_dims):
+            sampled = int(np.minimum(degrees, self.sample_size).sum())
+            sampled = max(sampled, n)  # isolated vertices read themselves
+            work.add(
+                EdgeAggregation(
+                    num_inputs=sampled,
+                    num_outputs=n,
+                    width=f_in,
+                    op="mean",
+                    label=f"sage{layer}.aggregate",
+                )
+            )
+            work.add(
+                Traversal(
+                    num_vertices=n,
+                    num_visits=sampled,
+                    hops=1,
+                    state_bytes=f_in * 4,
+                    label=f"sage{layer}.sample",
+                )
+            )
+            work.add(
+                DenseMatmul(
+                    m=n, k=2 * f_in, n=f_out, label=f"sage{layer}.project"
+                )
+            )
+            work.add(
+                Elementwise(
+                    size=n * f_out,
+                    flops_per_element=1.0 if layer == 0 else 3.0,
+                    label=f"sage{layer}.activation",
+                )
+            )
+        return work

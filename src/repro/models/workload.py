@@ -1,0 +1,251 @@
+"""Analytical workload descriptors.
+
+A :class:`ModelWorkload` is a typed list of the operations one inference
+pass performs.  Four operation kinds cover the paper's benchmarks and map
+directly onto the accelerator's execution units (Section III):
+
+* :class:`DenseMatmul` — per-vertex dense compute, executed by the DNA.
+* :class:`EdgeAggregation` — graph-structured reductions, executed by the
+  AGG under GPE coordination.
+* :class:`Traversal` — pointer-chasing over the graph structure, executed
+  by the GPE.
+* :class:`Elementwise` — activations and other streaming math.
+
+Byte counts assume the paper's 32-bit (4-byte) data values and 4-byte
+vertex indices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+BYTES_PER_VALUE = 4
+BYTES_PER_INDEX = 4
+
+
+@dataclass(frozen=True)
+class DenseMatmul:
+    """``count`` dense multiplications ``C[m,n] = A[m,k] @ B[k,n]``.
+
+    ``weight_resident`` marks B as a model weight that a well-implemented
+    runtime keeps on chip across the whole pass, so its traffic is counted
+    once rather than ``count`` times.
+    """
+
+    m: int
+    k: int
+    n: int
+    count: int = 1
+    label: str = ""
+    weight_resident: bool = True
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate operations."""
+        return self.m * self.k * self.n * self.count
+
+    @property
+    def flops(self) -> int:
+        """Floating point operations (2 per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of activations (A) streamed in."""
+        return self.m * self.k * self.count * BYTES_PER_VALUE
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes of weights (B) read."""
+        reads = 1 if self.weight_resident else self.count
+        return self.k * self.n * reads * BYTES_PER_VALUE
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of results (C) written."""
+        return self.m * self.n * self.count * BYTES_PER_VALUE
+
+    @property
+    def total_bytes(self) -> int:
+        """Total memory traffic."""
+        return self.input_bytes + self.weight_bytes + self.output_bytes
+
+
+@dataclass(frozen=True)
+class EdgeAggregation:
+    """``count`` graph-structured reductions of ``width``-wide vectors.
+
+    ``num_inputs`` vectors are combined into ``num_outputs`` results (for a
+    per-vertex neighbourhood sum, ``num_inputs`` is the number of directed
+    edges plus any self-contributions and ``num_outputs`` the vertex count).
+    ``weighted`` adds one multiply per element (e.g. the normalized-adjacency
+    coefficients of GCN or the attention coefficients of GAT).
+    """
+
+    num_inputs: int
+    num_outputs: int
+    width: int
+    op: str = "sum"
+    weighted: bool = False
+    count: int = 1
+    label: str = ""
+
+    @property
+    def flops(self) -> int:
+        """Reduction (+ optional scaling) flops."""
+        per_element = 2 if self.weighted else 1
+        return self.num_inputs * self.width * per_element * self.count
+
+    @property
+    def macs(self) -> int:
+        """MAC-equivalent work (a weighted reduce is one MAC per element)."""
+        return self.num_inputs * self.width * self.count
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of aggregation operands read."""
+        per_input = self.width * BYTES_PER_VALUE + (
+            BYTES_PER_VALUE if self.weighted else 0
+        )
+        return self.num_inputs * per_input * self.count
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of aggregation results written."""
+        return self.num_outputs * self.width * BYTES_PER_VALUE * self.count
+
+    @property
+    def total_bytes(self) -> int:
+        """Total memory traffic."""
+        return self.input_bytes + self.output_bytes
+
+
+@dataclass(frozen=True)
+class Traversal:
+    """Graph-structure navigation performed by the control core.
+
+    ``num_visits`` is the number of edge endpoints touched; each visit needs
+    the neighbour index plus ``state_bytes`` of per-vertex state, and visits
+    on a chain of ``hops`` dependent lookups cannot be overlapped by a
+    simple core (the PGNN multi-hop traversal).
+    """
+
+    num_vertices: int
+    num_visits: int
+    hops: int = 1
+    state_bytes: int = BYTES_PER_VALUE
+    count: int = 1
+    label: str = ""
+
+    @property
+    def flops(self) -> int:
+        """Traversal does bookkeeping, not floating point math."""
+        return 0
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Index plus state traffic for every visit."""
+        per_visit = BYTES_PER_INDEX + self.state_bytes
+        return self.num_visits * per_visit * self.count
+
+    @property
+    def dependent_accesses(self) -> int:
+        """Serialized memory accesses on the traversal's critical path."""
+        return self.num_vertices * self.hops * self.count
+
+
+@dataclass(frozen=True)
+class Elementwise:
+    """``count`` streaming elementwise passes over ``size`` values."""
+
+    size: int
+    flops_per_element: float = 1.0
+    count: int = 1
+    label: str = ""
+
+    @property
+    def flops(self) -> int:
+        return int(self.size * self.flops_per_element * self.count)
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Read plus write of the full stream."""
+        return 2 * self.size * BYTES_PER_VALUE * self.count
+
+
+WorkloadOp = DenseMatmul | EdgeAggregation | Traversal | Elementwise
+
+
+@dataclass
+class ModelWorkload:
+    """The full operation list for one model/graph benchmark."""
+
+    model: str
+    graph: str
+    ops: list[WorkloadOp] = field(default_factory=list)
+
+    def add(self, op: WorkloadOp) -> None:
+        """Append an operation."""
+        self.ops.append(op)
+
+    def extend(self, ops: list[WorkloadOp]) -> None:
+        """Append several operations."""
+        self.ops.extend(ops)
+
+    # -- aggregate views --------------------------------------------------
+
+    @property
+    def total_flops(self) -> int:
+        """All floating point work in one inference pass."""
+        return sum(op.flops for op in self.ops)
+
+    @property
+    def total_macs(self) -> int:
+        """All MAC-equivalent work."""
+        return sum(op.macs for op in self.ops)
+
+    @property
+    def total_bytes(self) -> int:
+        """All memory traffic, assuming no cross-op reuse."""
+        return sum(op.total_bytes for op in self.ops)
+
+    @property
+    def dense_macs(self) -> int:
+        """MACs that execute on the DNA (dense per-vertex compute)."""
+        return sum(op.macs for op in self.ops if isinstance(op, DenseMatmul))
+
+    @property
+    def aggregation_flops(self) -> int:
+        """Flops that execute on the AGG."""
+        return sum(op.flops for op in self.ops if isinstance(op, EdgeAggregation))
+
+    @property
+    def traversal_accesses(self) -> int:
+        """Dependent memory accesses on the GPE's critical path."""
+        return sum(
+            op.dependent_accesses for op in self.ops if isinstance(op, Traversal)
+        )
+
+    @property
+    def num_kernels(self) -> int:
+        """Distinct kernel launches a GPU implementation would need."""
+        return sum(op.count for op in self.ops)
+
+    def by_type(self, op_type: type) -> list[WorkloadOp]:
+        """All operations of one descriptor class."""
+        return [op for op in self.ops if isinstance(op, op_type)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ModelWorkload({self.model} on {self.graph}: "
+            f"{len(self.ops)} ops, {self.total_flops / 1e9:.2f} GFLOP, "
+            f"{self.total_bytes / 1e6:.1f} MB)"
+        )

@@ -1,0 +1,45 @@
+"""Booksim-like network-on-chip models.
+
+The paper's simulator is built on Booksim, a cycle-accurate NoC simulator,
+with the Table IV parameters (1-cycle link and routing delay, 4-flit input
+buffers, minimal routing).  This package provides two fidelity levels that
+share topology and routing code:
+
+* :class:`~repro.noc.flitnet.FlitNetwork` — a cycle-stepped wormhole
+  router model with credit-based flow control, used for validation and
+  NoC-focused studies.
+* :class:`~repro.noc.fastmodel.PacketNetwork` — a packet-granularity
+  link-contention model used inside whole-benchmark accelerator
+  simulations so Pubmed-scale runs stay tractable (DESIGN.md section 2).
+"""
+
+from repro.noc.config import NocConfig, NOC_CONFIG
+from repro.noc.packet import Packet
+from repro.noc.topology import Mesh, Torus, xy_route
+from repro.noc.flitnet import FlitNetwork
+from repro.noc.fastmodel import PacketNetwork
+from repro.noc.traffic import (
+    hotspot,
+    load_sweep,
+    neighbor,
+    run_load_point,
+    transpose,
+    uniform_random,
+)
+
+__all__ = [
+    "NocConfig",
+    "NOC_CONFIG",
+    "Packet",
+    "Mesh",
+    "Torus",
+    "xy_route",
+    "FlitNetwork",
+    "PacketNetwork",
+    "uniform_random",
+    "hotspot",
+    "transpose",
+    "neighbor",
+    "run_load_point",
+    "load_sweep",
+]

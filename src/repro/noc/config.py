@@ -1,0 +1,69 @@
+"""NoC configuration (paper Table IV and Figure 3)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NocConfig:
+    """Booksim model parameters.
+
+    Table IV: 1-cycle link delay, 1-cycle routing delay, 4-flit input
+    buffers of 256B (64B per flit, matching the 64B-wide tile crossbar of
+    Figure 3), minimal routing.  The NoC clock is independent of the tile
+    clock — the paper's clock sweep changes DNA/GPE throughput while "the
+    NoC and memory bandwidth are identical" (Section VI-B).
+    """
+
+    link_delay_cycles: int = 1
+    routing_delay_cycles: int = 1
+    input_buffer_flits: int = 4
+    flit_bytes: int = 64
+    clock_ghz: float = 1.0
+    routing: str = "xy-min"
+    #: Virtual channels per input port.  Table IV implies a single lane
+    #: (one 4-flit buffer); more VCs are available as an extension to
+    #: study head-of-line blocking.
+    num_vcs: int = 1
+
+    def __post_init__(self) -> None:
+        if self.link_delay_cycles < 1 or self.routing_delay_cycles < 0:
+            raise ValueError("delays must be at least one link cycle")
+        if self.input_buffer_flits < 1:
+            raise ValueError("input buffers need at least one flit slot")
+        if self.flit_bytes < 1:
+            raise ValueError("flit payload must be positive")
+        if self.num_vcs < 1:
+            raise ValueError("need at least one virtual channel")
+
+    @property
+    def input_buffer_bytes(self) -> int:
+        """Buffer capacity per input port (256B for Table IV)."""
+        return self.input_buffer_flits * self.flit_bytes
+
+    @property
+    def hop_cycles(self) -> int:
+        """Per-hop pipeline latency (routing plus link)."""
+        return self.link_delay_cycles + self.routing_delay_cycles
+
+    @property
+    def cycle_ns(self) -> float:
+        """Duration of one NoC cycle."""
+        return 1.0 / self.clock_ghz
+
+    @property
+    def link_bandwidth_gbps(self) -> float:
+        """Peak per-link bandwidth (one flit per cycle)."""
+        return self.flit_bytes * self.clock_ghz
+
+    def flits_for(self, size_bytes: int) -> int:
+        """Number of flits a payload of ``size_bytes`` occupies."""
+        if size_bytes <= 0:
+            return 1  # header-only packet
+        return math.ceil(size_bytes / self.flit_bytes)
+
+
+#: Table IV parameters.
+NOC_CONFIG = NocConfig()

@@ -1,0 +1,46 @@
+"""Accelerator runtime: vertex programs, the model compiler, and the
+Algorithm 1 execution engine.
+
+A GNN model is compiled (:mod:`repro.runtime.compiler`) into an
+:class:`~repro.runtime.program.AcceleratorProgram` — an ordered sequence
+of layers, each carrying a hardware configuration and one
+:class:`~repro.runtime.program.VertexTask` per output vertex.  The
+:class:`~repro.runtime.engine.RuntimeEngine` executes the program on an
+:class:`~repro.accel.system.Accelerator` exactly as Algorithm 1
+prescribes: configure, barrier, run every vertex program, barrier,
+next layer.
+"""
+
+from repro.runtime.program import (
+    AcceleratorProgram,
+    LayerProgram,
+    TraversalRound,
+    VertexTask,
+)
+from repro.runtime.compiler import compile_model
+from repro.runtime.engine import RuntimeEngine, simulate, simulate_detailed
+from repro.runtime.report import LayerReport, SimulationReport
+from repro.runtime.trace import TraceEvent, Tracer
+from repro.runtime.validate import (
+    ValidationIssue,
+    assert_valid,
+    validate_program,
+)
+
+__all__ = [
+    "VertexTask",
+    "TraversalRound",
+    "LayerProgram",
+    "AcceleratorProgram",
+    "compile_model",
+    "RuntimeEngine",
+    "simulate",
+    "simulate_detailed",
+    "LayerReport",
+    "SimulationReport",
+    "ValidationIssue",
+    "validate_program",
+    "assert_valid",
+    "Tracer",
+    "TraceEvent",
+]

@@ -1,0 +1,323 @@
+"""Algorithm 1 execution engine.
+
+Executes an :class:`~repro.runtime.program.AcceleratorProgram` on an
+:class:`~repro.accel.system.Accelerator`:
+
+* layers run in order with a global synchronization barrier between them
+  (Algorithm 1 lines 14-15 and 22-23),
+* per layer, every hardware module is reconfigured over the allocation
+  bus, then one vertex task runs for every entry of the work queue,
+* tasks are owned by their vertex's tile; the GPE's software thread pool
+  bounds how many are in flight per tile, and every phase contends for
+  its hardware unit (GPE issue slots, memory channels, NoC links, DNQ
+  slots, DNA array, AGG entries and ALUs).
+
+The engine is transaction-level: unit reservations compute timestamps
+analytically (``BusyTracker``), and discrete events are scheduled only
+where ordering decisions depend on resource grants (thread grants, AGG
+allocation, DNQ slots, data arrivals).
+"""
+
+from __future__ import annotations
+
+from repro.accel.config import AcceleratorConfig
+from repro.accel.system import Accelerator
+from repro.accel.tile import Tile
+from repro.runtime.program import AcceleratorProgram, LayerProgram, VertexTask
+from repro.runtime.report import LayerReport, SimulationReport
+from repro.runtime.trace import Tracer
+from repro.runtime.validate import assert_valid
+
+#: Fixed cost of the inter-layer barrier and reconfiguration, in GPE
+#: cycles: a configuration broadcast plus a synchronization round trip.
+BARRIER_CYCLES = 200
+
+
+class RuntimeEngine:
+    """Runs accelerator programs and produces simulation reports."""
+
+    def __init__(
+        self, accel: Accelerator, tracer: Tracer | None = None
+    ) -> None:
+        self.accel = accel
+        self.sim = accel.sim
+        self.tracer = tracer
+        self._layer_end = 0.0
+        self._tasks_remaining = 0
+
+    def _trace(self, layer, task, phase: str, tile, t: float) -> None:
+        if self.tracer is not None:
+            self.tracer.record(t, layer.name, task.vertex, phase,
+                               tile.coord)
+
+    # -- top level ----------------------------------------------------------
+
+    def run(self, program: AcceleratorProgram) -> SimulationReport:
+        """Execute all layers with barriers; returns the report."""
+        assert_valid(program, self.accel.config.tile)
+        reports: list[LayerReport] = []
+        clock_start = 0.0
+        barrier_ns = self.accel.clock.cycles_to_ns(BARRIER_CYCLES)
+        for layer in program.layers:
+            start = clock_start + barrier_ns
+            end = self._run_layer(layer, start)
+            reports.append(
+                LayerReport(
+                    name=layer.name,
+                    start_ns=start,
+                    end_ns=end,
+                    num_tasks=len(layer.tasks),
+                )
+            )
+            clock_start = end
+        return self._build_report(program, reports)
+
+    # -- one layer ------------------------------------------------------------
+
+    def _run_layer(self, layer: LayerProgram, start_ns: float) -> float:
+        for tile in self.accel.tiles:
+            tile.configure_layer(layer.dnq_entry_bytes, layer.agg_width_values)
+        self._layer_end = start_ns
+        self._tasks_remaining = len(layer.tasks)
+        for task in layer.tasks:
+            tile = self.accel.tile_of(task.vertex)
+            self.sim.schedule_at(
+                max(start_ns, self.sim.now),
+                self._enqueue_task,
+                tile,
+                task,
+                layer,
+            )
+        self.sim.run()
+        if self._tasks_remaining != 0:
+            raise RuntimeError(
+                f"layer {layer.name!r} deadlocked with "
+                f"{self._tasks_remaining} tasks unfinished"
+            )
+        return self._layer_end
+
+    def _enqueue_task(
+        self, tile: Tile, task: VertexTask, layer: LayerProgram
+    ) -> None:
+        tile.gpe.acquire_thread(
+            lambda: self._start_task(tile, task, layer)
+        )
+
+    # -- one vertex program ------------------------------------------------------
+
+    def _at(self, t: float, callback, *args) -> None:
+        """Continue at simulated time ``t`` (never earlier than now).
+
+        Every phase that waits on a memory, NoC, DNA, or AGG completion
+        re-enters through an event so that subsequent hardware-unit
+        reservations happen at their true issue time; reserving a unit at
+        a far-future timestamp would falsely head-of-line block requests
+        issued (in real time) before it.
+        """
+        self.sim.schedule_at(max(t, self.sim.now), callback, *args)
+
+    def _start_task(
+        self, tile: Tile, task: VertexTask, layer: LayerProgram
+    ) -> None:
+        """Phases 1-2: control and the asynchronous structure read."""
+        costs = tile.gpe.costs
+        self._trace(layer, task, "start", tile, self.sim.now)
+        t = tile.gpe.issue(task.control_instructions, self.sim.now)
+        if task.block_load_bytes:
+            t = tile.gpe.issue(costs.instructions_per_load, t)
+            arrival = self.accel.memory_read(
+                task.vertex, task.block_load_bytes, t, tile.coord
+            )
+            self._at(arrival, self._traversal_phase, tile, task, layer, 0,
+                     arrival)
+        else:
+            self._traversal_phase(tile, task, layer, 0, t)
+
+    def _traversal_phase(
+        self,
+        tile: Tile,
+        task: VertexTask,
+        layer: LayerProgram,
+        index: int,
+        t: float,
+    ) -> None:
+        """Phase 3: one dependent traversal round per entry.
+
+        ``t`` is the ready time carried from the previous phase (at most a
+        GPE-queue lookahead past the current event time).
+        """
+        while index < len(task.traversal) and task.traversal[index].count == 0:
+            index += 1
+        if index < len(task.traversal):
+            tround = task.traversal[index]
+            issue_done = tile.gpe.issue(
+                tround.count * tile.gpe.costs.instructions_per_visit,
+                max(t, self.sim.now),
+            )
+            arrival = self.accel.gather_read(
+                tround.count, tround.bytes_each, issue_done, tile.coord
+            )
+            self._at(arrival, self._traversal_phase, tile, task, layer,
+                     index + 1, arrival)
+            return
+        if task.has_aggregation:
+            self._aggregate_phase(tile, task, layer, max(t, self.sim.now))
+        else:
+            self._dna_phase(tile, task, layer, max(t, self.sim.now))
+
+    def _aggregate_phase(
+        self, tile: Tile, task: VertexTask, layer: LayerProgram, t: float
+    ) -> None:
+        """Phase 4: allocate an AGG entry, gather inputs, reduce.
+
+        Contributions come from two sources: values already fetched by the
+        traversal phase (``local_contributions``, folded as soon as the
+        entry exists) and the indirect gather reads issued here.
+        """
+        self._trace(layer, task, "aggregate", tile, t)
+        costs = tile.gpe.costs
+        issue_done = tile.gpe.issue(
+            task.gather_count * costs.instructions_per_load
+            + costs.instructions_per_alloc,
+            t,
+        )
+
+        def on_grant(grant_ns: float, agg_id: int) -> None:
+            start = max(issue_done, grant_ns)
+            local_done = start
+            if task.local_contributions:
+                local_done = tile.agg.contribute_batch(
+                    agg_id, start, task.local_contributions
+                )
+            if task.gather_count:
+                arrival = self.accel.gather_read(
+                    task.gather_count, task.gather_bytes_each, start,
+                    tile.coord,
+                )
+                self.sim.schedule_at(
+                    max(arrival, self.sim.now), reduce_batch, agg_id
+                )
+            else:
+                # Traversal-only aggregation: already complete.
+                self._dna_phase(tile, task, layer, local_done)
+
+        def reduce_batch(agg_id: int) -> None:
+            finish = tile.agg.contribute_batch(
+                agg_id, self.sim.now, task.gather_count
+            )
+            self._dna_phase(tile, task, layer, finish)
+
+        tile.agg.alloc(task.expected_inputs, on_grant)
+
+    def _dna_phase(
+        self, tile: Tile, task: VertexTask, layer: LayerProgram, t: float
+    ) -> None:
+        """Phase 5: stage the vertex's dense job through DNQ to the DNA."""
+        if not task.has_dna_job:
+            self._finish_task(tile, task, t, layer)
+            return
+        self._trace(layer, task, "dna", tile, t)
+        costs = tile.gpe.costs
+        issue_done = tile.gpe.issue(costs.instructions_per_alloc, t)
+
+        def on_slot() -> None:
+            fetch_start = max(issue_done, self.sim.now)
+            if task.feature_bytes:
+                arrival = self.accel.memory_read(
+                    task.vertex, task.feature_bytes, fetch_start, tile.coord
+                )
+            else:
+                arrival = fetch_start
+            self.sim.schedule_at(max(arrival, self.sim.now), fill)
+
+        def fill() -> None:
+            tile.dnq.fill(
+                self.sim.now,
+                task.dna_macs,
+                layer.dna_efficiency,
+                # Re-enter at the DNA finish time so the writeback reserves
+                # the memory channel at its actual issue time (a far-future
+                # reservation would head-of-line block earlier reads).
+                on_complete=lambda finish: self.sim.schedule_at(
+                    max(finish, self.sim.now),
+                    self._finish_task,
+                    tile,
+                    task,
+                    finish,
+                    layer,
+                ),
+                queue_id=task.dnq_queue,
+            )
+
+        tile.dnq.reserve(on_slot)
+
+    def _finish_task(
+        self,
+        tile: Tile,
+        task: VertexTask,
+        t: float,
+        layer: LayerProgram | None = None,
+    ) -> None:
+        """Phase 6: writeback, thread release, layer bookkeeping."""
+        if layer is not None:
+            self._trace(layer, task, "finish", tile, t)
+        if task.output_bytes:
+            t = self.accel.memory_write(
+                task.vertex, task.output_bytes, t, tile.coord
+            )
+        if t > self._layer_end:
+            self._layer_end = t
+        self.sim.schedule_at(
+            max(t, self.sim.now), self._retire_task, tile
+        )
+
+    def _retire_task(self, tile: Tile) -> None:
+        self._tasks_remaining -= 1
+        tile.gpe.release_thread()
+
+    # -- reporting -------------------------------------------------------------
+
+    def _build_report(
+        self, program: AcceleratorProgram, layers: list[LayerReport]
+    ) -> SimulationReport:
+        elapsed = layers[-1].end_ns - layers[0].start_ns if layers else 0.0
+        accel = self.accel
+        wasted = sum(m.stats.get("bytes_wasted") for m in accel.memories)
+        agg_util = sum(
+            t.agg.utilization(elapsed) for t in accel.tiles
+        ) / len(accel.tiles)
+        return SimulationReport(
+            benchmark=program.name,
+            config_name=accel.config.name,
+            clock_ghz=accel.config.clock_ghz,
+            layers=layers,
+            dram_bytes=accel.total_dram_bytes(),
+            dram_wasted_bytes=wasted,
+            mean_bandwidth_gbps=accel.mean_bandwidth_gbps(elapsed),
+            bandwidth_utilization=accel.bandwidth_utilization(elapsed),
+            dna_utilization=accel.dna_utilization(elapsed),
+            gpe_utilization=accel.gpe_utilization(elapsed),
+            agg_utilization=agg_util,
+            noc_peak_link_utilization=accel.noc.max_link_utilization(elapsed),
+        )
+
+
+def simulate(
+    program: AcceleratorProgram, config: AcceleratorConfig
+) -> SimulationReport:
+    """Build an accelerator for ``config`` and run ``program`` on it."""
+    return simulate_detailed(program, config)[0]
+
+
+def simulate_detailed(
+    program: AcceleratorProgram, config: AcceleratorConfig
+) -> tuple[SimulationReport, Accelerator]:
+    """Like :func:`simulate`, also returning the accelerator instance.
+
+    The instance carries the raw activity counters (per-unit stats,
+    per-link NoC occupancy) that post-processing such as
+    :func:`repro.accel.energy.estimate_energy` consumes.
+    """
+    accel = Accelerator(config)
+    report = RuntimeEngine(accel).run(program)
+    return report, accel

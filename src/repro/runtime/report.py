@@ -1,0 +1,60 @@
+"""Simulation result reporting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """Timing of one executed layer."""
+
+    name: str
+    start_ns: float
+    end_ns: float
+    num_tasks: int
+
+    @property
+    def latency_ns(self) -> float:
+        return self.end_ns - self.start_ns
+
+
+@dataclass
+class SimulationReport:
+    """Everything the evaluation section needs from one simulated run.
+
+    ``latency_ms`` feeds the Figure 8 speedups; ``bandwidth_utilization``
+    and ``dna_utilization`` are the two Figure 10 series.
+    """
+
+    benchmark: str
+    config_name: str
+    clock_ghz: float
+    layers: list[LayerReport] = field(default_factory=list)
+    dram_bytes: float = 0.0
+    dram_wasted_bytes: float = 0.0
+    mean_bandwidth_gbps: float = 0.0
+    bandwidth_utilization: float = 0.0
+    dna_utilization: float = 0.0
+    gpe_utilization: float = 0.0
+    agg_utilization: float = 0.0
+    noc_peak_link_utilization: float = 0.0
+
+    @property
+    def latency_ns(self) -> float:
+        """End-to-end inference latency."""
+        if not self.layers:
+            return 0.0
+        return self.layers[-1].end_ns - self.layers[0].start_ns
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_ns * 1e-6
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulationReport({self.benchmark} on {self.config_name} @ "
+            f"{self.clock_ghz}GHz: {self.latency_ms:.3f} ms, "
+            f"BW {self.bandwidth_utilization:.0%}, "
+            f"DNA {self.dna_utilization:.0%})"
+        )

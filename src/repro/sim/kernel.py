@@ -1,0 +1,133 @@
+"""Discrete-event simulation kernel.
+
+A :class:`Simulator` owns a priority queue of :class:`Event` objects.
+Events scheduled for the same timestamp fire in scheduling order, which
+makes runs deterministic for a fixed workload (a property the test suite
+relies on).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
+    tie-breaker assigned by the simulator so same-time events fire in the
+    order they were scheduled.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the kernel skips it when it is popped."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Event queue and simulated clock.
+
+    Time is in nanoseconds.  Typical use::
+
+        sim = Simulator()
+        sim.schedule(10.0, handler, arg1, arg2)   # fire 10 ns from now
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._now = 0.0
+        self._seq = 0
+        self._events_fired = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the queue (including cancelled ones)."""
+        return len(self._queue)
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire ``delay`` ns from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to fire at absolute time ``time`` ns."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} ns; current time is {self._now} ns"
+            )
+        event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run events until the queue drains, ``until`` ns, or ``max_events``.
+
+        Returns the simulated time when the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (re-entrant run)")
+        self._running = True
+        try:
+            fired = 0
+            while self._queue:
+                event = self._queue[0]
+                if until is not None and event.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self._now = event.time
+                event.callback(*event.args)
+                self._events_fired += 1
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute the single next non-cancelled event.
+
+        Returns True if an event fired, False if the queue was empty.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback(*event.args)
+            self._events_fired += 1
+            return True
+        return False

@@ -1,0 +1,33 @@
+"""Base class for simulation modules."""
+
+from __future__ import annotations
+
+from repro.sim.clock import Clock
+from repro.sim.kernel import Simulator
+from repro.sim.stats import StatSet
+
+
+class Module:
+    """A named component attached to a :class:`~repro.sim.kernel.Simulator`.
+
+    Subclasses model hardware blocks (routers, the GPE, the aggregator...).
+    Each module has its own clock domain and statistics set.
+    """
+
+    def __init__(self, sim: Simulator, name: str, clock: Clock) -> None:
+        self.sim = sim
+        self.name = name
+        self.clock = clock
+        self.stats = StatSet()
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in nanoseconds."""
+        return self.sim.now
+
+    def after_cycles(self, cycles: float, callback, *args) -> None:
+        """Schedule ``callback`` after ``cycles`` of this module's clock."""
+        self.sim.schedule(self.clock.cycles_to_ns(cycles), callback, *args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r})"

@@ -1,0 +1,92 @@
+"""Statistics helpers shared by simulation modules.
+
+Two pieces:
+
+* :class:`StatSet` — a named bag of additive counters.
+* :class:`BusyTracker` — accumulates busy time so modules can report
+  utilization (e.g. the DNA utilization plotted in the paper's Figure 10).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class StatSet:
+    """A named collection of additive counters."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = defaultdict(float)
+
+    def add(self, name: str, amount: float = 1.0) -> None:
+        """Increment counter ``name`` by ``amount``."""
+        self._counters[name] += amount
+
+    def get(self, name: str) -> float:
+        """Current value of counter ``name`` (0.0 if never incremented)."""
+        return self._counters.get(name, 0.0)
+
+    def as_dict(self) -> dict[str, float]:
+        """Snapshot of all counters."""
+        return dict(self._counters)
+
+    def merge(self, other: "StatSet") -> None:
+        """Add all counters from ``other`` into this set."""
+        for name, value in other._counters.items():
+            self._counters[name] += value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._counters
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v:g}" for k, v in sorted(self._counters.items()))
+        return f"StatSet({body})"
+
+
+class BusyTracker:
+    """Accumulates non-overlapping busy intervals for utilization reporting.
+
+    Callers mark work with :meth:`occupy`, which extends the busy horizon;
+    overlapping requests serialize, which is exactly the behaviour of a
+    single shared resource (a DNA array, a memory channel, a NoC link).
+    """
+
+    def __init__(self) -> None:
+        self._busy_until = 0.0
+        self._busy_time = 0.0
+        self._first_use: float | None = None
+        self._last_use = 0.0
+
+    @property
+    def busy_until(self) -> float:
+        """Time at which the resource next becomes free."""
+        return self._busy_until
+
+    @property
+    def busy_time(self) -> float:
+        """Total accumulated busy time."""
+        return self._busy_time
+
+    def occupy(self, now: float, duration: float) -> tuple[float, float]:
+        """Reserve the resource for ``duration`` starting no earlier than ``now``.
+
+        Returns ``(start, finish)`` of the granted interval.  If the
+        resource is still busy at ``now`` the interval starts when it
+        frees up (FIFO serialization).
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        start = max(now, self._busy_until)
+        finish = start + duration
+        self._busy_until = finish
+        self._busy_time += duration
+        if self._first_use is None:
+            self._first_use = start
+        self._last_use = finish
+        return start, finish
+
+    def utilization(self, elapsed: float) -> float:
+        """Fraction of ``elapsed`` time the resource spent busy."""
+        if elapsed <= 0:
+            return 0.0
+        return min(1.0, self._busy_time / elapsed)

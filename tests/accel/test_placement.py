@@ -1,0 +1,76 @@
+"""Tests for vertex placement policies."""
+
+import pytest
+
+from repro.accel import (
+    Accelerator,
+    GPU_ISO_BW,
+    RangePlacement,
+    RoundRobinPlacement,
+)
+
+
+class TestRoundRobin:
+    def test_modulo_mapping(self):
+        placement = RoundRobinPlacement(num_tiles=4, num_memories=2)
+        assert [placement.tile_index(v) for v in range(6)] == [
+            0, 1, 2, 3, 0, 1,
+        ]
+        assert [placement.memory_index(v) for v in range(4)] == [0, 1, 0, 1]
+
+    def test_memory_offset_rotates(self):
+        placement = RoundRobinPlacement(
+            num_tiles=4, num_memories=4, memory_offset=1
+        )
+        assert placement.memory_index(0) == 1
+        assert placement.memory_index(3) == 0
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            RoundRobinPlacement(num_tiles=0, num_memories=1)
+
+
+class TestRange:
+    def test_contiguous_blocks(self):
+        placement = RangePlacement(
+            num_vertices=10, num_tiles=2, num_memories=2
+        )
+        assert [placement.tile_index(v) for v in range(10)] == [
+            0, 0, 0, 0, 0, 1, 1, 1, 1, 1,
+        ]
+
+    def test_uneven_blocks_clamp_to_last_tile(self):
+        placement = RangePlacement(
+            num_vertices=10, num_tiles=3, num_memories=3
+        )
+        assert placement.tile_index(9) == 2
+        assert max(placement.tile_index(v) for v in range(10)) == 2
+
+    def test_memory_follows_tile(self):
+        placement = RangePlacement(
+            num_vertices=8, num_tiles=4, num_memories=2
+        )
+        for v in range(8):
+            assert placement.memory_index(v) == placement.tile_index(v) % 2
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(ValueError):
+            RangePlacement(num_vertices=0, num_tiles=1, num_memories=1)
+
+
+class TestAcceleratorIntegration:
+    def test_default_is_aligned_round_robin(self):
+        accel = Accelerator(GPU_ISO_BW)
+        assert isinstance(accel.placement, RoundRobinPlacement)
+        assert accel.placement.memory_offset == 0
+        assert accel.tile_of(9) is accel.tiles[1]
+        _, coord = accel.memory_of(9)
+        assert coord == GPU_ISO_BW.memory_coords[1]
+
+    def test_custom_placement_respected(self):
+        placement = RoundRobinPlacement(
+            num_tiles=8, num_memories=8, memory_offset=3
+        )
+        accel = Accelerator(GPU_ISO_BW, placement=placement)
+        _, coord = accel.memory_of(0)
+        assert coord == GPU_ISO_BW.memory_coords[3]

@@ -1,0 +1,104 @@
+"""Property-based tests for the tile units' queueing contracts.
+
+The DNQ, AGG, and GPE all implement the same pattern — a bounded
+resource pool with a FIFO waitlist — and the engine's liveness depends on
+three properties holding under arbitrary operation sequences: grants
+never exceed capacity, waiters are served in order, and every release
+eventually produces a grant.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.accel.agg import Aggregator
+from repro.accel.config import TileConfig
+from repro.accel.dna import DnaUnit
+from repro.accel.dnq import DnnQueue
+from repro.accel.gpe import GraphPE
+from repro.sim import Clock, Simulator
+
+POOL = 4
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_gpe_thread_pool_invariants(ops):
+    """True = acquire, False = release (when something is granted)."""
+    gpe = GraphPE(
+        Simulator(), "gpe", TileConfig(gpe_threads=POOL), Clock(1.0)
+    )
+    grants: list[int] = []
+    requested = 0
+    released = 0
+    for is_acquire in ops:
+        if is_acquire:
+            ticket = requested
+            requested += 1
+            gpe.acquire_thread(lambda t=ticket: grants.append(t))
+        elif len(grants) > released:
+            gpe.release_thread()
+            released += 1
+        # Invariants hold after every step.
+        assert grants == sorted(grants)  # FIFO service order
+        assert len(grants) <= requested
+        assert len(grants) <= released + POOL  # never over-granted
+        assert len(grants) >= min(requested, released + POOL)  # work-conserving
+    # Draining all granted work grants everything that was requested.
+    while len(grants) > released:
+        gpe.release_thread()
+        released += 1
+        if released > 10_000:
+            raise AssertionError("release livelock")
+    assert len(grants) == min(requested, released + POOL) or (
+        len(grants) == requested
+    )
+
+
+@given(st.integers(1, 30), st.integers(1, 10))
+@settings(max_examples=40, deadline=None)
+def test_dnq_grants_bounded_by_capacity(num_reserves, entry_kb):
+    sim = Simulator()
+    config = TileConfig()
+    clock = Clock(1.0)
+    dna = DnaUnit(sim, "dna", config.dna, clock)
+    dnq = DnnQueue(sim, "dnq", config, dna, clock)
+    dnq.configure(entry_kb * 1024)
+    granted = []
+    for i in range(num_reserves):
+        dnq.reserve(lambda i=i: granted.append(i))
+    capacity = config.max_dnq_entries(entry_kb * 1024)
+    assert len(granted) == min(num_reserves, capacity)
+    assert granted == sorted(granted)  # FIFO
+
+    # Filling every granted entry eventually grants every reservation.
+    filled = 0
+    while filled < len(granted):
+        dnq.fill(0.0, macs=1, efficiency=1.0, on_complete=lambda t: None)
+        filled += 1
+        sim.run()
+    assert len(granted) == num_reserves
+    assert granted == sorted(granted)
+
+
+@given(st.integers(1, 200), st.sampled_from([4, 16, 64, 256]))
+@settings(max_examples=40, deadline=None)
+def test_agg_pool_invariants(num_allocs, width):
+    sim = Simulator()
+    agg = Aggregator(sim, "agg", TileConfig(), Clock(1.0))
+    agg.configure(width)
+    granted = []
+    for i in range(num_allocs):
+        agg.alloc(1, lambda t, agg_id, i=i: granted.append((i, agg_id)))
+    capacity = agg.capacity
+    assert len(granted) == min(num_allocs, capacity)
+    assert [i for i, _ in granted] == sorted(i for i, _ in granted)
+
+    # Completing every granted aggregation eventually grants all, and
+    # grant order stays FIFO.
+    completed = 0
+    while completed < len(granted):
+        _, agg_id = granted[completed]
+        agg.contribute(agg_id, arrival_ns=0.0)
+        completed += 1
+    assert len(granted) == num_allocs
+    assert [i for i, _ in granted] == list(range(num_allocs))
+    assert agg.in_flight == 0

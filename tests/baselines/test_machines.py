@@ -1,0 +1,60 @@
+"""Tests for the baseline machine models (Table III)."""
+
+import pytest
+
+from repro.baselines import CPU_MACHINE, GPU_MACHINE, MachineModel
+
+
+def test_cpu_matches_table3_parts():
+    assert "E5-2680v4" in CPU_MACHINE.name
+    # 14 cores x 2.4 GHz x 16 FLOP/cycle.
+    assert CPU_MACHINE.peak_gflops == pytest.approx(537.6)
+    # 4 channels of DDR4-2133.
+    assert CPU_MACHINE.mem_bw_gbps == pytest.approx(68.3)
+
+
+def test_gpu_matches_table3_parts():
+    assert "Titan XP" in GPU_MACHINE.name
+    assert GPU_MACHINE.peak_gflops == pytest.approx(12150.0)
+    assert GPU_MACHINE.mem_bw_gbps == pytest.approx(547.7)
+
+
+def test_gpu_has_more_compute_and_bandwidth():
+    assert GPU_MACHINE.peak_gflops > 10 * CPU_MACHINE.peak_gflops
+    assert GPU_MACHINE.mem_bw_gbps > 5 * CPU_MACHINE.mem_bw_gbps
+
+
+def test_sparse_throughput_far_below_peak():
+    # The paper's core observation: framework sparse kernels run orders
+    # of magnitude below peak on both machines.
+    assert CPU_MACHINE.sparse_gflops < CPU_MACHINE.peak_gflops / 100
+    assert GPU_MACHINE.sparse_gflops < GPU_MACHINE.peak_gflops / 100
+
+
+def test_gpu_skips_single_hop_traversal_costs():
+    assert GPU_MACHINE.traversal_min_hops == 2
+    assert CPU_MACHINE.traversal_min_hops == 1
+
+
+def test_derived_quantities():
+    assert CPU_MACHINE.dense_gflops == pytest.approx(
+        CPU_MACHINE.peak_gflops * CPU_MACHINE.dense_efficiency
+    )
+    assert GPU_MACHINE.effective_bw_gbps == pytest.approx(
+        GPU_MACHINE.mem_bw_gbps * GPU_MACHINE.bandwidth_efficiency
+    )
+
+
+def test_invalid_machines_rejected():
+    with pytest.raises(ValueError):
+        MachineModel(
+            name="bad", peak_gflops=0, mem_bw_gbps=1,
+            dense_efficiency=0.5, sparse_gflops=1, traversal_ns=1,
+            kernel_overhead_us=1, bandwidth_efficiency=0.5,
+        )
+    with pytest.raises(ValueError):
+        MachineModel(
+            name="bad", peak_gflops=1, mem_bw_gbps=1,
+            dense_efficiency=1.5, sparse_gflops=1, traversal_ns=1,
+            kernel_overhead_us=1, bandwidth_efficiency=0.5,
+        )

@@ -1,0 +1,76 @@
+"""Tests for workload pricing on baseline machines."""
+
+import pytest
+
+from repro.baselines import CPU_MACHINE, GPU_MACHINE, estimate_latency_ms
+from repro.baselines.roofline import workload_breakdown
+from repro.models import (
+    DenseMatmul,
+    EdgeAggregation,
+    Elementwise,
+    ModelWorkload,
+    Traversal,
+)
+
+
+def workload_of(*ops) -> ModelWorkload:
+    work = ModelWorkload(model="t", graph="g")
+    work.extend(list(ops))
+    return work
+
+
+class TestBreakdownTerms:
+    def test_dense_term(self):
+        work = workload_of(DenseMatmul(m=1000, k=1000, n=1000))
+        breakdown = workload_breakdown(work, CPU_MACHINE)
+        expected_ms = 2e9 / (CPU_MACHINE.dense_gflops * 1e9) * 1e3
+        assert breakdown.dense_ms == pytest.approx(expected_ms)
+
+    def test_sparse_term(self):
+        work = workload_of(EdgeAggregation(num_inputs=1000, num_outputs=10,
+                                           width=300))
+        breakdown = workload_breakdown(work, CPU_MACHINE)
+        expected_ms = 3e5 / (CPU_MACHINE.sparse_gflops * 1e9) * 1e3
+        assert breakdown.sparse_ms == pytest.approx(expected_ms)
+
+    def test_traversal_term_respects_min_hops(self):
+        one_hop = workload_of(Traversal(num_vertices=10, num_visits=1000))
+        two_hop = workload_of(
+            Traversal(num_vertices=10, num_visits=1000, hops=2)
+        )
+        assert workload_breakdown(one_hop, GPU_MACHINE).traversal_ms == 0
+        assert workload_breakdown(two_hop, GPU_MACHINE).traversal_ms > 0
+        assert workload_breakdown(one_hop, CPU_MACHINE).traversal_ms > 0
+
+    def test_overhead_counts_kernel_instances(self):
+        work = workload_of(DenseMatmul(m=1, k=1, n=1, count=100))
+        breakdown = workload_breakdown(work, GPU_MACHINE)
+        assert breakdown.overhead_ms == pytest.approx(
+            100 * GPU_MACHINE.kernel_overhead_us * 1e-3
+        )
+
+    def test_elementwise_counts_as_dense_flops(self):
+        work = workload_of(Elementwise(size=10_000, flops_per_element=2))
+        assert workload_breakdown(work, CPU_MACHINE).dense_ms > 0
+
+
+class TestTotal:
+    def test_compute_and_memory_overlap(self):
+        work = workload_of(DenseMatmul(m=2000, k=2000, n=2000))
+        breakdown = workload_breakdown(work, CPU_MACHINE)
+        assert breakdown.total_ms == pytest.approx(
+            max(breakdown.dense_ms, breakdown.memory_ms)
+            + breakdown.overhead_ms
+        )
+
+    def test_gpu_faster_on_dense_work(self):
+        work = workload_of(DenseMatmul(m=2000, k=2000, n=2000))
+        assert estimate_latency_ms(work, GPU_MACHINE) < estimate_latency_ms(
+            work, CPU_MACHINE
+        )
+
+    def test_kernel_overhead_dominates_many_tiny_ops(self):
+        # The MPNN-on-GPU effect: thousands of small kernels.
+        work = workload_of(DenseMatmul(m=8, k=8, n=8, count=50_000))
+        breakdown = workload_breakdown(work, GPU_MACHINE)
+        assert breakdown.overhead_ms > 10 * breakdown.dense_ms

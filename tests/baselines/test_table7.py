@@ -1,0 +1,51 @@
+"""Tests for Table VII baseline latencies."""
+
+import pytest
+
+from repro.baselines import (
+    TABLE7_MEASURED_MS,
+    baseline_latency_ms,
+    modeled_table7,
+)
+from repro.models import BENCHMARKS, Benchmark
+
+
+def test_measured_values_match_paper():
+    assert TABLE7_MEASURED_MS["gcn-cora"] == (3.50, 0.366)
+    assert TABLE7_MEASURED_MS["mpnn-qm9_1000"] == (2716.00, 443.3)
+    assert TABLE7_MEASURED_MS["pgnn-dblp_1"] == (15.70, 7.50)
+
+
+def test_every_benchmark_has_a_row():
+    for benchmark in BENCHMARKS:
+        assert benchmark.key in TABLE7_MEASURED_MS
+
+
+def test_baseline_latency_measured_lookup():
+    bench = Benchmark("GCN", "pubmed")
+    assert baseline_latency_ms(bench, "cpu") == 30.11
+    assert baseline_latency_ms(bench, "gpu") == 0.893
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        baseline_latency_ms(Benchmark("GCN", "cora"), "tpu")
+
+
+def test_gpu_is_faster_than_cpu_everywhere():
+    for cpu_ms, gpu_ms in TABLE7_MEASURED_MS.values():
+        assert gpu_ms < cpu_ms
+
+
+@pytest.mark.parametrize("key", list(TABLE7_MEASURED_MS))
+def test_model_within_2x_of_measured(key):
+    """The calibration contract: every modeled latency is within 2x."""
+    modeled = modeled_table7()
+    for modeled_ms, measured_ms in zip(modeled[key], TABLE7_MEASURED_MS[key]):
+        assert 0.5 <= modeled_ms / measured_ms <= 2.0
+
+
+def test_modeled_lookup_via_baseline_latency():
+    bench = Benchmark("GCN", "cora")
+    modeled = baseline_latency_ms(bench, "cpu", measured=False)
+    assert modeled == pytest.approx(modeled_table7()["gcn-cora"][0])

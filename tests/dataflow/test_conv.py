@@ -1,0 +1,85 @@
+"""Tests for the convolution -> matmul lowering."""
+
+import pytest
+
+from repro.dataflow import EYERISS_CONFIG, analyze_layer
+from repro.dataflow.conv import ConvLayer, pointwise_conv
+
+
+def conv3x3(**overrides) -> ConvLayer:
+    defaults = dict(
+        name="conv", batch=1, in_height=16, in_width=16, in_channels=8,
+        out_channels=32, kernel_height=3, kernel_width=3,
+    )
+    defaults.update(overrides)
+    return ConvLayer(**defaults)
+
+
+class TestGeometry:
+    def test_valid_convolution_output(self):
+        layer = conv3x3()
+        assert (layer.out_height, layer.out_width) == (14, 14)
+
+    def test_padding_preserves_size(self):
+        layer = conv3x3(padding=1)
+        assert (layer.out_height, layer.out_width) == (16, 16)
+
+    def test_stride_downsamples(self):
+        layer = conv3x3(stride=2, padding=1)
+        assert (layer.out_height, layer.out_width) == (8, 8)
+
+    def test_kernel_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            conv3x3(kernel_height=20)
+
+    def test_negative_padding_rejected(self):
+        with pytest.raises(ValueError):
+            conv3x3(padding=-1)
+
+    def test_zero_dimension_rejected(self):
+        with pytest.raises(ValueError):
+            conv3x3(in_channels=0)
+
+
+class TestLowering:
+    def test_macs_preserved_by_lowering(self):
+        layer = conv3x3()
+        assert layer.to_matmul().total_macs == layer.total_macs
+
+    def test_matmul_shape(self):
+        matmul = conv3x3().to_matmul()
+        assert matmul.m == 14 * 14
+        assert matmul.k == 3 * 3 * 8
+        assert matmul.n == 32
+
+    def test_batch_multiplies_rows(self):
+        matmul = conv3x3(batch=4).to_matmul()
+        assert matmul.m == 4 * 14 * 14
+
+    def test_weight_sparsity_scales_useful_macs(self):
+        dense = conv3x3().to_matmul()
+        sparse = conv3x3(weight_nnz=(3 * 3 * 8 * 32) // 4).to_matmul()
+        assert sparse.useful_macs == pytest.approx(
+            dense.total_macs / 4, rel=0.01
+        )
+
+    def test_lowered_layer_maps_on_the_array(self):
+        analysis = analyze_layer(
+            conv3x3().to_matmul(), EYERISS_CONFIG, bandwidth_gbps=68.0
+        )
+        assert analysis.latency_ns > 0
+        assert 0 < analysis.pe_utilization <= 1
+
+
+class TestPointwise:
+    def test_matches_fc_over_vertices(self):
+        # A 1x1 conv over N positions is an N x C_in x C_out matmul —
+        # the ConvGNN projection.
+        conv = pointwise_conv("proj", batch=1, positions=2708,
+                              in_channels=1433, out_channels=16)
+        matmul = conv.to_matmul()
+        assert (matmul.m, matmul.k, matmul.n) == (2708, 1433, 16)
+
+    def test_macs(self):
+        conv = pointwise_conv("proj", 1, 100, 64, 8)
+        assert conv.total_macs == 100 * 64 * 8

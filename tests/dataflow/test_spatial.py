@@ -1,0 +1,40 @@
+"""Tests for the spatial array configuration (Table I)."""
+
+import pytest
+
+from repro.dataflow import EYERISS_CONFIG, SpatialArrayConfig
+
+
+def test_table1_pe_count():
+    assert EYERISS_CONFIG.num_pes == 182
+
+
+def test_table1_array_shape():
+    assert (EYERISS_CONFIG.rows, EYERISS_CONFIG.cols) == (13, 14)
+
+
+def test_table1_buffer_sizes():
+    assert EYERISS_CONFIG.register_file_bytes == 512
+    assert EYERISS_CONFIG.global_buffer_bytes == 108 * 1024
+
+
+def test_table1_precision_is_32_bit():
+    assert EYERISS_CONFIG.bytes_per_value == 4
+
+
+def test_buffer_words():
+    assert EYERISS_CONFIG.buffer_words == 108 * 1024 // 4
+
+
+def test_peak_macs_per_cycle_equals_pes():
+    assert EYERISS_CONFIG.peak_macs_per_cycle == 182
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        SpatialArrayConfig(rows=0)
+
+
+def test_tiny_buffer_rejected():
+    with pytest.raises(ValueError):
+        SpatialArrayConfig(global_buffer_bytes=4)

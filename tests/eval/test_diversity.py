@@ -1,0 +1,70 @@
+"""Tests for the Section V diversity characterization."""
+
+import pytest
+
+from repro.eval.diversity import (
+    covered_dimensions,
+    diversity_row,
+    diversity_table,
+)
+from repro.models import Benchmark
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return diversity_table()
+
+
+def test_six_rows(rows):
+    assert len(rows) == 6
+
+
+def test_spectral_and_spatial_both_present(rows):
+    dims = covered_dimensions(rows)
+    assert dims["convolution"] == {"spectral", "spatial"}
+
+
+def test_four_aggregation_schemes(rows):
+    dims = covered_dimensions(rows)
+    assert len(dims["aggregation"]) == 4
+
+
+def test_large_and_small_models(rows):
+    dims = covered_dimensions(rows)
+    assert dims["size"] == {"large", "small"}
+
+
+def test_one_hop_and_multi_hop_traversal(rows):
+    dims = covered_dimensions(rows)
+    assert dims["traversal"] == {"one-hop", "multi-hop"}
+
+
+def test_mpnn_is_the_large_model(rows):
+    by_key = {r.benchmark: r for r in rows}
+    assert by_key["mpnn-qm9_1000"].size_class == "large"
+    assert by_key["pgnn-dblp_1"].size_class == "small"
+
+
+def test_pgnn_is_the_multi_hop_benchmark(rows):
+    by_key = {r.benchmark: r for r in rows}
+    assert by_key["pgnn-dblp_1"].traversal_class == "multi-hop"
+    assert by_key["gcn-cora"].traversal_class == "one-hop"
+
+
+def test_shares_are_fractions(rows):
+    for row in rows:
+        assert 0 <= row.dense_share <= 1
+        assert 0 <= row.aggregation_share <= 1
+
+
+def test_arithmetic_intensity_consistent(rows):
+    for row in rows:
+        assert row.arithmetic_intensity == pytest.approx(
+            row.gflops * 1e9 / (row.mbytes * 1e6), rel=1e-6
+        )
+
+
+def test_single_row_lookup():
+    row = diversity_row(Benchmark("GAT", "cora"))
+    assert row.convolution == "spatial"
+    assert "attention" in row.aggregation

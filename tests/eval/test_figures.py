@@ -1,0 +1,85 @@
+"""Tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.eval.figures import bar_chart, figure8_chart, figure10_chart
+from repro.eval.speedups import Figure8Cell
+from repro.eval.utilization import Figure10Row
+
+
+class TestBarChart:
+    def test_contains_labels_and_values(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0])
+        assert "a" in chart
+        assert "bb" in chart
+        assert "2.00" in chart
+
+    def test_longest_bar_is_peak(self):
+        chart = bar_chart(["small", "large"], [1.0, 10.0], width=20)
+        lines = chart.splitlines()
+        assert lines[1].count("#") == 20
+        assert lines[0].count("#") == 2
+
+    def test_title_line(self):
+        chart = bar_chart(["x"], [1.0], title="My chart")
+        assert chart.splitlines()[0] == "My chart"
+
+    def test_log_scale_compresses(self):
+        linear = bar_chart(["a", "b"], [1.0, 100.0], width=100)
+        logged = bar_chart(["a", "b"], [1.0, 100.0], width=100,
+                           log_scale=True)
+        assert linear.splitlines()[0].count("#") < logged.splitlines()[
+            0
+        ].count("#")
+
+    def test_reference_marker(self):
+        chart = bar_chart(["a"], [10.0], reference=5.0, width=10)
+        assert "|" in chart
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart([], [])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1.0])
+
+
+class TestFigureCharts:
+    def make_cells(self):
+        return [
+            Figure8Cell(config="CPU iso-BW", baseline="cpu",
+                        benchmark="gcn-cora", clock_ghz=2.4,
+                        latency_ms=0.5, baseline_ms=3.5),
+            Figure8Cell(config="CPU iso-BW", baseline="cpu",
+                        benchmark="pgnn-dblp_1", clock_ghz=2.4,
+                        latency_ms=17.0, baseline_ms=15.7),
+        ]
+
+    def test_figure8_chart_renders_all_benchmarks(self):
+        chart = figure8_chart(self.make_cells(), "CPU iso-BW")
+        assert "gcn-cora" in chart
+        assert "pgnn-dblp_1" in chart
+        assert "|" in chart  # the 1x reference line
+
+    def test_figure8_chart_missing_config_rejected(self):
+        with pytest.raises(ValueError):
+            figure8_chart(self.make_cells(), "GPU iso-BW")
+
+    def test_figure10_chart_has_both_groups(self):
+        rows = [
+            Figure10Row(benchmark="gcn-cora", bandwidth_utilization=0.67,
+                        mean_bandwidth_gbps=45.0, dna_utilization=0.35,
+                        gpe_utilization=0.5),
+            Figure10Row(benchmark="pgnn-dblp_1", bandwidth_utilization=0.02,
+                        mean_bandwidth_gbps=1.2, dna_utilization=0.0,
+                        gpe_utilization=0.99),
+        ]
+        chart = figure10_chart(rows)
+        assert "memory bandwidth utilization" in chart
+        assert "DNA utilization" in chart
+        assert chart.count("gcn-cora") == 2

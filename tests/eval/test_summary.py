@@ -1,0 +1,45 @@
+"""Tests for the headline-metric summary.
+
+These are the claims in the README's results table.  The simulations are
+shared with the other eval tests through the process-wide cache, so this
+module's marginal cost is the GPU iso-BW / iso-FLOPS runs it adds.
+"""
+
+import pytest
+
+from repro.eval.summary import headline_metrics
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return headline_metrics()
+
+
+def test_cpu_iso_bw_headline(metrics):
+    # Paper: "18x higher performance than CPUs at iso-bandwidth".
+    assert metrics["cpu_iso_bw_mean_speedup"] > 8.0
+
+
+def test_gpu_iso_bw_headline(metrics):
+    # Paper: "7.5x higher performance than GPUs at iso-bandwidth".
+    assert metrics["gpu_iso_bw_mean_speedup"] > 4.0
+
+
+def test_mpnn_iso_flops_headline(metrics):
+    # Paper: "over 60x".
+    assert metrics["mpnn_iso_flops_speedup"] > 60.0
+
+
+def test_pgnn_slowdown(metrics):
+    # Paper: "a 12% increase in inference latency".
+    assert 0.8 < metrics["pgnn_cpu_iso_bw_speedup"] < 1.0
+
+
+def test_pubmed_waste(metrics):
+    # Paper: "only ... 2% of the compute are useful".
+    assert metrics["pubmed_useful_compute_fraction"] < 0.05
+
+
+def test_pgnn_dna_idle(metrics):
+    # Paper: "very little DNA utilization".
+    assert metrics["pgnn_dna_utilization"] < 0.02

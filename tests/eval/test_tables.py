@@ -1,0 +1,88 @@
+"""Tests for configuration-table drivers and report formatting."""
+
+from repro.eval import (
+    figure9,
+    format_table,
+    table1,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+
+
+def test_table1_values():
+    rows = dict(table1())
+    assert rows["Number of PEs"] == "182"
+    assert rows["PE configuration"] == "13 x 14"
+    assert rows["Register File Size"] == "512B"
+    assert rows["Global Buffer Size"] == "108kB"
+    assert rows["Precision"] == "32-bit fixed point"
+
+
+def test_table3_names_parts():
+    rows = dict(table3())
+    assert "E5-2680v4" in rows["CPU"]
+    assert "Titan XP" in rows["GPU"]
+
+
+def test_table4_values():
+    rows = dict(table4())
+    assert rows["Link Delay"] == "1 cycle"
+    assert rows["Routing Delay"] == "1 cycle"
+    assert rows["Input buffers"] == "4 flits, 256B"
+    assert "min" in rows["Routing algorithm"]
+
+
+def test_table5_matches_paper():
+    rows = {r[0]: r[1:] for r in table5()}
+    assert rows["Cora"] == (1, 2708, 5429, 1433, 0, 7)
+    assert rows["Citeseer"] == (1, 3327, 4732, 3703, 0, 6)
+    assert rows["Pubmed"] == (1, 19717, 44338, 500, 0, 3)
+    assert rows["QM9_1000"] == (1000, 12314, 12080, 13, 5, 73)
+    assert rows["DBLP_1"] == (1, 547, 2654, 1, 0, 3)
+
+
+def test_table6_matches_paper():
+    rows = {r[0]: r[1:] for r in table6()}
+    assert rows["CPU iso-BW"] == (1, 1, 198, 68.0)
+    assert rows["GPU iso-BW"] == (8, 8, 1584, 544.0)
+    assert rows["GPU iso-FLOPS"] == (16, 8, 3168, 544.0)
+
+
+def test_table7_rows():
+    rows = table7()
+    assert len(rows) == 6
+    gcn_cora = rows[0]
+    assert gcn_cora.cpu_measured_ms == 3.50
+    assert gcn_cora.cpu_modeled_ms > 0
+
+
+def test_figure9_node_counts():
+    drawings = figure9()
+    for name, expected_tiles, expected_mems in [
+        ("CPU iso-BW", 1, 1),
+        ("GPU iso-BW", 8, 8),
+        ("GPU iso-FLOPS", 16, 8),
+    ]:
+        art = "\n".join(drawings[name])
+        assert art.count("T") == expected_tiles
+        assert art.count("M") == expected_mems
+
+
+class TestFormatTable:
+    def test_includes_headers_and_rows(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "2.500" in text
+        assert "x" in text
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="Table X")
+        assert text.splitlines()[0] == "Table X"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text

@@ -1,0 +1,95 @@
+"""Property-based tests for the Graph data structure."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import Graph
+
+
+@st.composite
+def edge_lists(draw):
+    num_nodes = draw(st.integers(2, 40))
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    pairs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, num_nodes - 1),
+                st.integers(0, num_nodes - 1),
+            ),
+            min_size=1,
+            max_size=min(60, max_edges),
+        )
+    )
+    # Deduplicate as unordered pairs, drop loops (the generators never
+    # emit them and from_edge_list stores loops specially).
+    unique = {(min(a, b), max(a, b)) for a, b in pairs if a != b}
+    return num_nodes, sorted(unique)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_undirected_graph_is_symmetric(data):
+    num_nodes, edges = data
+    if not edges:
+        return
+    graph = Graph.from_edge_list(num_nodes, edges, undirected=True)
+    adjacency = graph.adjacency().toarray()
+    assert np.array_equal(adjacency, adjacency.T)
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_edge_counts(data):
+    num_nodes, edges = data
+    if not edges:
+        return
+    graph = Graph.from_edge_list(num_nodes, edges, undirected=True)
+    assert graph.num_edges == len(edges)
+    assert graph.nnz == 2 * len(edges)
+    assert graph.degrees().sum() == graph.nnz
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_normalized_adjacency_spectral_radius(data):
+    """Eigenvalues of D^-1/2 (A+I) D^-1/2 lie in [-1, 1] — the spectral
+    property GCN's stability rests on (Kipf & Welling, Sec. 2.2)."""
+    num_nodes, edges = data
+    if not edges:
+        return
+    graph = Graph.from_edge_list(num_nodes, edges, undirected=True)
+    dense = graph.normalized_adjacency().toarray()
+    eigenvalues = np.linalg.eigvalsh(dense)
+    assert eigenvalues.max() <= 1.0 + 1e-5
+    assert eigenvalues.min() >= -1.0 - 1e-5
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_neighbor_slices_cover_indices(data):
+    num_nodes, edges = data
+    if not edges:
+        return
+    graph = Graph.from_edge_list(num_nodes, edges, undirected=True)
+    seen = []
+    for v in range(num_nodes):
+        row = graph.neighbors(v)
+        seen.extend(row.tolist())
+        assert np.array_equal(
+            row, graph.indices[graph.edge_slice(v)]
+        )
+    assert len(seen) == graph.nnz
+
+
+@given(edge_lists())
+@settings(max_examples=40, deadline=None)
+def test_density_matches_dense_matrix(data):
+    num_nodes, edges = data
+    if not edges:
+        return
+    graph = Graph.from_edge_list(num_nodes, edges, undirected=True)
+    dense = graph.adjacency().toarray()
+    assert graph.density() == pytest.approx(
+        np.count_nonzero(dense) / dense.size
+    )

@@ -1,0 +1,40 @@
+"""Shared fixtures for model tests."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph, citation_graph, molecule_graph_set
+
+
+@pytest.fixture
+def small_graph() -> Graph:
+    """A 60-vertex citation-like graph with 20-wide features."""
+    graph = citation_graph(60, 150, seed=42)
+    rng = np.random.default_rng(7)
+    graph.node_features = rng.standard_normal((60, 20)).astype(np.float32)
+    return graph
+
+
+@pytest.fixture
+def small_molecules():
+    """Ten molecules with the QM9 feature widths."""
+    return molecule_graph_set(
+        num_graphs=10, total_nodes=120, total_edges=126,
+        node_feature_dim=13, edge_feature_dim=5, seed=5,
+    )
+
+
+def permute_graph(graph: Graph, perm: np.ndarray) -> Graph:
+    """Relabel vertices so old vertex ``i`` becomes ``perm[i]``."""
+    dst = np.repeat(np.arange(graph.num_nodes), np.diff(graph.indptr))
+    src = graph.indices
+    # Keep each undirected edge once to rebuild cleanly.
+    mask = dst <= src
+    edges = np.stack([perm[dst[mask]], perm[src[mask]]], axis=1)
+    features = None
+    if graph.node_features is not None:
+        features = np.empty_like(graph.node_features)
+        features[perm] = graph.node_features
+    return Graph.from_edge_list(
+        graph.num_nodes, edges, undirected=True, node_features=features
+    )

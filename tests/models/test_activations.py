@@ -1,0 +1,83 @@
+"""Tests for activation functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.models import elu, leaky_relu, relu, sigmoid, softmax, tanh
+
+finite_arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, max_side=8),
+    elements=st.floats(-50, 50),
+)
+
+
+def test_relu_clips_negatives():
+    x = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+    assert np.array_equal(relu(x), [0.0, 0.0, 0.0, 0.5, 2.0])
+
+
+def test_leaky_relu_scales_negatives():
+    x = np.array([-10.0, 10.0])
+    assert np.allclose(leaky_relu(x, 0.2), [-2.0, 10.0])
+
+
+def test_elu_matches_exp_on_negatives():
+    x = np.array([-1.0])
+    assert np.allclose(elu(x), np.exp(-1.0) - 1.0)
+
+
+def test_elu_is_identity_on_positives():
+    x = np.array([0.0, 1.5, 3.0])
+    assert np.allclose(elu(x), x)
+
+
+def test_sigmoid_at_zero_is_half():
+    assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+
+def test_sigmoid_extremes_do_not_overflow():
+    out = sigmoid(np.array([-1000.0, 1000.0]))
+    assert out[0] == pytest.approx(0.0, abs=1e-12)
+    assert out[1] == pytest.approx(1.0, abs=1e-12)
+
+
+def test_tanh_is_odd():
+    x = np.array([0.5, 1.0, 2.0])
+    assert np.allclose(tanh(-x), -tanh(x))
+
+
+def test_softmax_rows_sum_to_one():
+    x = np.random.default_rng(0).standard_normal((5, 7))
+    assert np.allclose(softmax(x, axis=1).sum(axis=1), 1.0)
+
+
+def test_softmax_is_shift_invariant():
+    x = np.array([[1.0, 2.0, 3.0]])
+    assert np.allclose(softmax(x), softmax(x + 100.0))
+
+
+def test_softmax_handles_large_values():
+    out = softmax(np.array([[1000.0, 1000.0]]))
+    assert np.allclose(out, 0.5)
+
+
+@given(finite_arrays)
+def test_relu_is_idempotent(x):
+    assert np.array_equal(relu(relu(x)), relu(x))
+
+
+@given(finite_arrays)
+def test_sigmoid_bounded(x):
+    out = sigmoid(x)
+    assert np.all(out >= 0.0)
+    assert np.all(out <= 1.0)
+
+
+@given(finite_arrays)
+def test_softmax_probabilities(x):
+    out = softmax(x, axis=-1)
+    assert np.all(out >= 0.0)
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-9)

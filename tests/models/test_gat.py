@@ -1,0 +1,79 @@
+"""Tests for the GAT model."""
+
+import numpy as np
+import pytest
+
+from repro.models import GAT
+from repro.models.workload import DenseMatmul, Elementwise
+
+from tests.models.conftest import permute_graph
+
+
+def test_output_shape(small_graph):
+    out = GAT(20, 8, 7, num_heads=8).forward(small_graph)
+    assert out.shape == (60, 7)
+
+
+def test_output_rows_are_probabilities(small_graph):
+    out = GAT(20, 8, 7).forward(small_graph)
+    assert np.allclose(out.sum(axis=1), 1.0, atol=1e-5)
+
+
+def test_unnormalized_is_default_matching_paper(small_graph):
+    assert GAT(20).normalize is False
+
+
+def test_normalized_variant_differs(small_graph):
+    plain = GAT(20, 8, 7, seed=1).forward(small_graph)
+    normed = GAT(20, 8, 7, seed=1, normalize=True).forward(small_graph)
+    assert not np.allclose(plain, normed)
+
+
+def test_normalized_variant_adds_softmax_op(small_graph):
+    plain = GAT(20, 8, 7, seed=1).workload(small_graph)
+    normed = GAT(20, 8, 7, seed=1, normalize=True).workload(small_graph)
+    assert len(normed.ops) == len(plain.ops) + 2  # one softmax per layer
+
+
+def test_deterministic_for_seed(small_graph):
+    a = GAT(20, seed=5).forward(small_graph)
+    b = GAT(20, seed=5).forward(small_graph)
+    assert np.array_equal(a, b)
+
+
+def test_feature_width_mismatch_raises(small_graph):
+    with pytest.raises(ValueError):
+        GAT(19).forward(small_graph)
+
+
+def test_invalid_head_count_rejected():
+    with pytest.raises(ValueError):
+        GAT(20, num_heads=0)
+
+
+def test_permutation_equivariance(small_graph):
+    model = GAT(20, 8, 7, seed=0)
+    rng = np.random.default_rng(29)
+    perm = rng.permutation(small_graph.num_nodes)
+    out = model.forward(small_graph)
+    out_permuted = model.forward(permute_graph(small_graph, perm))
+    assert np.allclose(out_permuted[perm], out, atol=1e-4)
+
+
+class TestWorkload:
+    def test_first_projection_covers_all_heads(self, small_graph):
+        work = GAT(20, 8, 7, num_heads=8).workload(small_graph)
+        proj = work.by_type(DenseMatmul)[0]
+        assert (proj.k, proj.n) == (20, 64)
+
+    def test_edge_score_count_includes_self_loops(self, small_graph):
+        work = GAT(20, 8, 7, num_heads=8).workload(small_graph)
+        edge_scores = [
+            op for op in work.by_type(Elementwise) if op.label == "gat.edge_scores"
+        ]
+        expected = (small_graph.nnz + small_graph.num_nodes) * 8
+        assert edge_scores[0].size == expected
+
+    def test_two_layers_of_ops(self, small_graph):
+        work = GAT(20, 8, 7).workload(small_graph)
+        assert len(work.ops) == 12  # 6 ops per layer

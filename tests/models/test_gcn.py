@@ -1,0 +1,81 @@
+"""Tests for the GCN model."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+from repro.models import GCN, DenseMatmul, EdgeAggregation
+
+from tests.models.conftest import permute_graph
+
+
+def test_output_shape(small_graph):
+    out = GCN(20, 16, 7).forward(small_graph)
+    assert out.shape == (60, 7)
+
+
+def test_output_rows_are_probabilities(small_graph):
+    out = GCN(20, 16, 7).forward(small_graph)
+    assert np.all(out >= 0)
+    assert np.allclose(out.sum(axis=1), 1.0, atol=1e-5)
+
+
+def test_deterministic_for_seed(small_graph):
+    a = GCN(20, 16, 7, seed=3).forward(small_graph)
+    b = GCN(20, 16, 7, seed=3).forward(small_graph)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_give_different_weights(small_graph):
+    a = GCN(20, 16, 7, seed=3).forward(small_graph)
+    b = GCN(20, 16, 7, seed=4).forward(small_graph)
+    assert not np.allclose(a, b)
+
+
+def test_feature_width_mismatch_raises(small_graph):
+    with pytest.raises(ValueError):
+        GCN(21, 16, 7).forward(small_graph)
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        GCN(0, 16, 7)
+
+
+def test_permutation_equivariance(small_graph):
+    """Relabeling the vertices must relabel the outputs identically."""
+    model = GCN(20, 16, 7, seed=0)
+    rng = np.random.default_rng(13)
+    perm = rng.permutation(small_graph.num_nodes)
+    out = model.forward(small_graph)
+    out_permuted = model.forward(permute_graph(small_graph, perm))
+    assert np.allclose(out_permuted[perm], out, atol=1e-4)
+
+
+def test_isolated_vertex_keeps_self_information():
+    """With self loops, an isolated vertex still produces an output."""
+    g = Graph.from_edge_list(3, [(0, 1)], undirected=True)
+    g.node_features = np.eye(3, 4, dtype=np.float32)
+    out = GCN(4, 8, 2).forward(g)
+    assert np.all(np.isfinite(out[2]))
+
+
+class TestWorkload:
+    def test_projection_sizes(self, small_graph):
+        work = GCN(20, 16, 7).workload(small_graph)
+        matmuls = work.by_type(DenseMatmul)
+        assert [(op.k, op.n) for op in matmuls] == [(20, 16), (16, 7)]
+        assert all(op.m == 60 for op in matmuls)
+
+    def test_aggregation_includes_self_loops(self, small_graph):
+        work = GCN(20, 16, 7).workload(small_graph)
+        agg = work.by_type(EdgeAggregation)[0]
+        assert agg.num_inputs == small_graph.nnz + small_graph.num_nodes
+
+    def test_dense_macs_formula(self, small_graph):
+        work = GCN(20, 16, 7).workload(small_graph)
+        assert work.dense_macs == 60 * 20 * 16 + 60 * 16 * 7
+
+    def test_propagation_is_weighted(self, small_graph):
+        work = GCN(20, 16, 7).workload(small_graph)
+        assert all(op.weighted for op in work.by_type(EdgeAggregation))

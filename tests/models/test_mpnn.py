@@ -1,0 +1,98 @@
+"""Tests for the MPNN model."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import GraphSet
+from repro.models import MPNN
+from repro.models.workload import DenseMatmul
+
+from tests.models.conftest import permute_graph
+
+
+def make_model(**overrides) -> MPNN:
+    defaults = dict(
+        node_features=13, edge_features=5, hidden=16, out_features=8,
+        steps=2, edge_mlp_hidden=12, seed=0,
+    )
+    defaults.update(overrides)
+    return MPNN(**defaults)
+
+
+def test_output_one_row_per_graph(small_molecules):
+    out = make_model().forward(small_molecules)
+    assert out.shape == (10, 8)
+
+
+def test_single_graph_input(small_molecules):
+    out = make_model().forward(small_molecules[0])
+    assert out.shape == (1, 8)
+
+
+def test_deterministic_for_seed(small_molecules):
+    a = make_model(seed=9).forward(small_molecules)
+    b = make_model(seed=9).forward(small_molecules)
+    assert np.array_equal(a, b)
+
+
+def test_edge_feature_width_mismatch_raises(small_molecules):
+    with pytest.raises(ValueError):
+        make_model(edge_features=4).forward(small_molecules)
+
+
+def test_zero_steps_rejected():
+    with pytest.raises(ValueError):
+        make_model(steps=0)
+
+
+def test_permutation_invariance(small_molecules):
+    """Readout of a relabeled molecule is unchanged (graph-level output)."""
+    model = make_model()
+    graph = small_molecules[3]
+    rng = np.random.default_rng(3)
+    perm = rng.permutation(graph.num_nodes)
+    permuted = permute_graph(graph, perm)
+    # Edge features must follow their edges; rebuild aligned features by
+    # using zero edge features in both graphs for this test.
+    graph_plain = permute_graph(graph, np.arange(graph.num_nodes))
+    graph_plain.edge_features = np.zeros((graph_plain.nnz, 5), np.float32)
+    permuted.edge_features = np.zeros((permuted.nnz, 5), np.float32)
+    out_a = model.forward(graph_plain)
+    out_b = model.forward(permuted)
+    assert np.allclose(out_a, out_b, atol=1e-4)
+
+
+def test_more_steps_changes_output(small_molecules):
+    a = make_model(steps=1).forward(small_molecules)
+    b = make_model(steps=3).forward(small_molecules)
+    assert not np.allclose(a, b)
+
+
+class TestWorkload:
+    def test_message_matvecs_scale_with_steps(self, small_molecules):
+        w1 = make_model(steps=1).workload(small_molecules)
+        w3 = make_model(steps=3).workload(small_molecules)
+        msgs1 = [op for op in w1.by_type(DenseMatmul) if op.label == "mpnn.messages"]
+        msgs3 = [op for op in w3.by_type(DenseMatmul) if op.label == "mpnn.messages"]
+        assert msgs3[0].count == 3 * msgs1[0].count
+
+    def test_edge_matrices_are_not_resident_weights(self, small_molecules):
+        work = make_model().workload(small_molecules)
+        msgs = [op for op in work.by_type(DenseMatmul) if op.label == "mpnn.messages"]
+        assert not msgs[0].weight_resident
+
+    def test_workload_counts_all_graphs(self, small_molecules):
+        work = make_model().workload(small_molecules)
+        embed = [op for op in work.by_type(DenseMatmul) if op.label == "mpnn.embed"]
+        assert embed[0].m == small_molecules.total_nodes
+
+    def test_edge_network_dominates_dense_macs(self):
+        """With the paper's QM9 dimensions the edge network is the bulk."""
+        from repro.graphs import qm9_1000
+
+        model = MPNN()
+        work = model.workload(qm9_1000())
+        edge2 = [
+            op for op in work.by_type(DenseMatmul) if op.label == "mpnn.edge_mlp2"
+        ]
+        assert edge2[0].macs > 0.5 * work.dense_macs

@@ -1,0 +1,83 @@
+"""Tests for the PGNN model."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import collaboration_graph
+from repro.models import PGNN
+from repro.models.workload import Traversal
+
+from tests.models.conftest import permute_graph
+
+
+@pytest.fixture
+def dblp_like():
+    graph = collaboration_graph(80, 300, seed=17)
+    graph.node_features = graph.degrees().astype(np.float32).reshape(-1, 1)
+    return graph
+
+
+def test_output_shape(dblp_like):
+    out = PGNN(1, 8, 3).forward(dblp_like)
+    assert out.shape == (80, 3)
+
+
+def test_output_rows_are_probabilities(dblp_like):
+    out = PGNN(1, 8, 3).forward(dblp_like)
+    assert np.allclose(out.sum(axis=1), 1.0, atol=1e-5)
+
+
+def test_deterministic_for_seed(dblp_like):
+    a = PGNN(seed=2).forward(dblp_like)
+    b = PGNN(seed=2).forward(dblp_like)
+    assert np.array_equal(a, b)
+
+
+def test_feature_width_mismatch_raises(dblp_like):
+    with pytest.raises(ValueError):
+        PGNN(in_features=2).forward(dblp_like)
+
+
+def test_zero_layers_rejected():
+    with pytest.raises(ValueError):
+        PGNN(num_layers=0)
+
+
+def test_layer_dims_chain():
+    model = PGNN(1, 8, 3, num_layers=3)
+    assert model.layer_dims == [(1, 8), (8, 8), (8, 3)]
+
+
+def test_permutation_equivariance(dblp_like):
+    model = PGNN(seed=0)
+    rng = np.random.default_rng(31)
+    perm = rng.permutation(dblp_like.num_nodes)
+    permuted = permute_graph(dblp_like, perm)
+    permuted.node_features = permuted.degrees().astype(np.float32).reshape(-1, 1)
+    out = model.forward(dblp_like)
+    out_permuted = model.forward(permuted)
+    assert np.allclose(out_permuted[perm], out, atol=1e-4)
+
+
+def test_two_hop_visits_is_sum_of_squared_degrees(dblp_like):
+    model = PGNN()
+    degrees = dblp_like.degrees().astype(np.int64)
+    assert model.two_hop_visits(dblp_like) == int((degrees**2).sum())
+
+
+class TestWorkload:
+    def test_has_two_hop_traversal_per_layer(self, dblp_like):
+        work = PGNN(num_layers=3).workload(dblp_like)
+        two_hop = [op for op in work.by_type(Traversal) if op.hops == 2]
+        assert len(two_hop) == 3
+
+    def test_two_hop_dominates_traversal(self, dblp_like):
+        """The A^2 expansion is the bulk of the pointer chasing."""
+        work = PGNN().workload(dblp_like)
+        visits = {op.hops: op.num_visits for op in work.by_type(Traversal)}
+        assert visits[2] > 3 * visits[1]
+
+    def test_dense_compute_is_tiny(self, dblp_like):
+        """PGNN's defining property: traversal >> dense math (Sec. VI-A)."""
+        work = PGNN().workload(dblp_like)
+        assert work.dense_macs < 1_000_000

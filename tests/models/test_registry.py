@@ -1,0 +1,65 @@
+"""Tests for the benchmark registry."""
+
+import pytest
+
+from repro.models import (
+    BENCHMARKS,
+    GAT,
+    GCN,
+    MPNN,
+    PGNN,
+    Benchmark,
+    benchmark_model,
+    benchmark_workload,
+    load_benchmark,
+)
+
+
+def test_six_table7_rows():
+    assert len(BENCHMARKS) == 6
+    assert [b.model for b in BENCHMARKS] == [
+        "GCN", "GCN", "GCN", "GAT", "MPNN", "PGNN",
+    ]
+
+
+def test_keys_are_stable():
+    assert BENCHMARKS[0].key == "gcn-cora"
+    assert BENCHMARKS[5].key == "pgnn-dblp_1"
+
+
+@pytest.mark.parametrize(
+    "bench, model_type",
+    [
+        (Benchmark("GCN", "cora"), GCN),
+        (Benchmark("GAT", "cora"), GAT),
+        (Benchmark("MPNN", "qm9_1000"), MPNN),
+        (Benchmark("PGNN", "dblp_1"), PGNN),
+    ],
+)
+def test_model_families(bench, model_type):
+    assert isinstance(benchmark_model(bench), model_type)
+
+
+def test_models_are_sized_for_their_dataset():
+    model, data = load_benchmark(Benchmark("GCN", "pubmed"))
+    assert model.in_features == data.num_node_features == 500
+    assert model.out_features == 3
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(KeyError):
+        benchmark_model(Benchmark("RNN", "cora"))
+
+
+@pytest.mark.parametrize("bench", BENCHMARKS, ids=lambda b: b.key)
+def test_workloads_are_nonempty(bench):
+    work = benchmark_workload(bench)
+    assert work.total_flops > 0
+    assert work.total_bytes > 0
+
+
+def test_mpnn_is_the_compute_heavy_benchmark():
+    """Section VI: MPNN has by far the largest compute requirement."""
+    flops = {b.key: benchmark_workload(b).total_flops for b in BENCHMARKS}
+    assert flops["mpnn-qm9_1000"] == max(flops.values())
+    assert flops["pgnn-dblp_1"] == min(flops.values())

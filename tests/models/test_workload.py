@@ -1,0 +1,111 @@
+"""Tests for workload descriptor arithmetic."""
+
+import pytest
+
+from repro.models import (
+    DenseMatmul,
+    EdgeAggregation,
+    Elementwise,
+    ModelWorkload,
+    Traversal,
+)
+
+
+class TestDenseMatmul:
+    def test_macs_and_flops(self):
+        op = DenseMatmul(m=4, k=5, n=6)
+        assert op.macs == 120
+        assert op.flops == 240
+
+    def test_count_scales_work(self):
+        assert DenseMatmul(m=2, k=3, n=4, count=10).macs == 240
+
+    def test_resident_weight_read_once(self):
+        op = DenseMatmul(m=2, k=3, n=4, count=10, weight_resident=True)
+        assert op.weight_bytes == 3 * 4 * 4
+
+    def test_streamed_weight_read_per_instance(self):
+        op = DenseMatmul(m=2, k=3, n=4, count=10, weight_resident=False)
+        assert op.weight_bytes == 3 * 4 * 4 * 10
+
+    def test_byte_components_sum(self):
+        op = DenseMatmul(m=2, k=3, n=4)
+        assert op.total_bytes == op.input_bytes + op.weight_bytes + op.output_bytes
+
+
+class TestEdgeAggregation:
+    def test_unweighted_flops_one_per_element(self):
+        op = EdgeAggregation(num_inputs=10, num_outputs=3, width=4)
+        assert op.flops == 40
+
+    def test_weighted_flops_two_per_element(self):
+        op = EdgeAggregation(num_inputs=10, num_outputs=3, width=4, weighted=True)
+        assert op.flops == 80
+
+    def test_weighted_inputs_include_coefficients(self):
+        plain = EdgeAggregation(num_inputs=10, num_outputs=3, width=4)
+        weighted = EdgeAggregation(
+            num_inputs=10, num_outputs=3, width=4, weighted=True
+        )
+        assert weighted.input_bytes == plain.input_bytes + 10 * 4
+
+    def test_output_bytes(self):
+        op = EdgeAggregation(num_inputs=10, num_outputs=3, width=4)
+        assert op.output_bytes == 3 * 4 * 4
+
+
+class TestTraversal:
+    def test_no_flops(self):
+        assert Traversal(num_vertices=5, num_visits=20).flops == 0
+
+    def test_dependent_accesses_scale_with_hops(self):
+        op = Traversal(num_vertices=5, num_visits=20, hops=2, count=3)
+        assert op.dependent_accesses == 30
+
+    def test_bytes_include_index_and_state(self):
+        op = Traversal(num_vertices=5, num_visits=10, state_bytes=8)
+        assert op.total_bytes == 10 * (4 + 8)
+
+
+class TestElementwise:
+    def test_flops(self):
+        assert Elementwise(size=100, flops_per_element=2.5).flops == 250
+
+    def test_bytes_read_write(self):
+        assert Elementwise(size=100).total_bytes == 800
+
+
+class TestModelWorkload:
+    def make(self) -> ModelWorkload:
+        work = ModelWorkload(model="test", graph="g")
+        work.add(DenseMatmul(m=2, k=3, n=4))
+        work.add(EdgeAggregation(num_inputs=10, num_outputs=2, width=4))
+        work.add(Traversal(num_vertices=2, num_visits=10))
+        work.add(Elementwise(size=8))
+        return work
+
+    def test_totals_sum_over_ops(self):
+        work = self.make()
+        assert work.total_flops == sum(op.flops for op in work.ops)
+        assert work.total_bytes == sum(op.total_bytes for op in work.ops)
+
+    def test_dense_macs_only_counts_matmuls(self):
+        assert self.make().dense_macs == 24
+
+    def test_aggregation_flops_only_counts_aggregations(self):
+        assert self.make().aggregation_flops == 40
+
+    def test_by_type_filters(self):
+        work = self.make()
+        assert len(work.by_type(DenseMatmul)) == 1
+        assert len(work.by_type(Traversal)) == 1
+
+    def test_num_kernels_counts_instances(self):
+        work = ModelWorkload(model="t", graph="g")
+        work.add(DenseMatmul(m=1, k=1, n=1, count=7))
+        assert work.num_kernels == 7
+
+    def test_extend(self):
+        work = ModelWorkload(model="t", graph="g")
+        work.extend([Elementwise(size=1), Elementwise(size=2)])
+        assert len(work.ops) == 2

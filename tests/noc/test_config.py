@@ -1,0 +1,52 @@
+"""Tests for the NoC configuration (Table IV)."""
+
+import pytest
+
+from repro.noc import NOC_CONFIG, NocConfig
+
+
+def test_table4_delays():
+    assert NOC_CONFIG.link_delay_cycles == 1
+    assert NOC_CONFIG.routing_delay_cycles == 1
+
+
+def test_table4_input_buffers():
+    assert NOC_CONFIG.input_buffer_flits == 4
+    assert NOC_CONFIG.input_buffer_bytes == 256
+
+
+def test_table4_routing_is_minimal():
+    assert "min" in NOC_CONFIG.routing
+
+
+def test_flit_width_matches_crossbar():
+    assert NOC_CONFIG.flit_bytes == 64
+
+
+def test_hop_cycles():
+    assert NOC_CONFIG.hop_cycles == 2
+
+
+def test_flits_for_rounds_up():
+    assert NOC_CONFIG.flits_for(1) == 1
+    assert NOC_CONFIG.flits_for(64) == 1
+    assert NOC_CONFIG.flits_for(65) == 2
+    assert NOC_CONFIG.flits_for(256) == 4
+
+
+def test_header_only_packet_is_one_flit():
+    assert NOC_CONFIG.flits_for(0) == 1
+
+
+def test_link_bandwidth():
+    assert NOC_CONFIG.link_bandwidth_gbps == pytest.approx(64.0)
+
+
+def test_invalid_buffer_rejected():
+    with pytest.raises(ValueError):
+        NocConfig(input_buffer_flits=0)
+
+
+def test_invalid_flit_size_rejected():
+    with pytest.raises(ValueError):
+        NocConfig(flit_bytes=0)

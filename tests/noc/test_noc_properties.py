@@ -1,0 +1,80 @@
+"""Property-based tests for both NoC models."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.noc import FlitNetwork, Mesh, NOC_CONFIG, Packet, PacketNetwork
+
+coords = st.tuples(st.integers(0, 3), st.integers(0, 3))
+packet_specs = st.lists(
+    st.tuples(coords, coords, st.integers(0, 512)),
+    min_size=1,
+    max_size=20,
+)
+
+
+@given(packet_specs)
+@settings(max_examples=30, deadline=None)
+def test_flit_network_conserves_packets(specs):
+    """Every injected packet is delivered exactly once; no deadlock."""
+    net = FlitNetwork(4, 4)
+    packets = [
+        Packet(src=src, dst=dst, size_bytes=size) for src, dst, size in specs
+    ]
+    for pkt in packets:
+        net.inject(pkt)
+    delivered = net.run(max_cycles=100_000)
+    assert sorted(p.pid for p in delivered) == sorted(p.pid for p in packets)
+    for pkt in packets:
+        assert pkt.delivered_cycle is not None
+
+
+@given(packet_specs)
+@settings(max_examples=30, deadline=None)
+def test_flit_latency_at_least_zero_load(specs):
+    """No packet beats the zero-load bound: hops * hop_cycles + flits."""
+    net = FlitNetwork(4, 4)
+    packets = [
+        Packet(src=src, dst=dst, size_bytes=size) for src, dst, size in specs
+    ]
+    for pkt in packets:
+        net.inject(pkt)
+    net.run(max_cycles=100_000)
+    for pkt in packets:
+        hops = abs(pkt.dst[0] - pkt.src[0]) + abs(pkt.dst[1] - pkt.src[1])
+        flits = NOC_CONFIG.flits_for(pkt.size_bytes)
+        zero_load = hops * NOC_CONFIG.hop_cycles + flits
+        assert pkt.latency >= zero_load
+
+
+@given(packet_specs)
+@settings(max_examples=30, deadline=None)
+def test_packet_model_arrival_after_start(specs):
+    net = PacketNetwork(Mesh(4, 4))
+    for i, (src, dst, size) in enumerate(specs):
+        start = float(i)
+        arrival = net.delivery_time(src, dst, size, start)
+        assert arrival > start or (src == dst and arrival >= start)
+
+
+@given(packet_specs)
+@settings(max_examples=30, deadline=None)
+def test_packet_model_stats_conserve_bytes(specs):
+    net = PacketNetwork(Mesh(4, 4))
+    for src, dst, size in specs:
+        net.delivery_time(src, dst, size, 0.0)
+    assert net.stats.get("packets") == len(specs)
+    assert net.stats.get("bytes") == sum(size for _, _, size in specs)
+
+
+@given(
+    coords, coords,
+    st.integers(0, 2048),
+    st.floats(0, 1e4),
+)
+def test_packet_model_monotone_in_size(src, dst, size, start):
+    """A bigger payload never arrives earlier on a fresh network."""
+    small = PacketNetwork(Mesh(4, 4)).delivery_time(src, dst, size, start)
+    large = PacketNetwork(Mesh(4, 4)).delivery_time(
+        src, dst, size + 64, start
+    )
+    assert large >= small

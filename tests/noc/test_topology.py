@@ -1,0 +1,66 @@
+"""Tests for mesh topology and XY routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.noc import Mesh, xy_route
+from repro.noc.topology import route_links
+
+
+class TestMesh:
+    def test_node_count(self):
+        assert Mesh(4, 3).num_nodes == 12
+
+    def test_nodes_row_major(self):
+        assert Mesh(2, 2).nodes() == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_contains(self):
+        mesh = Mesh(3, 3)
+        assert mesh.contains((2, 2))
+        assert not mesh.contains((3, 0))
+        assert not mesh.contains((0, -1))
+
+    def test_corner_has_two_neighbors(self):
+        assert sorted(Mesh(3, 3).neighbors((0, 0))) == [(0, 1), (1, 0)]
+
+    def test_center_has_four_neighbors(self):
+        assert len(Mesh(3, 3).neighbors((1, 1))) == 4
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            Mesh(0, 3)
+
+    def test_validate_node_raises_outside(self):
+        with pytest.raises(ValueError):
+            Mesh(2, 2).validate_node((2, 0))
+
+
+class TestXYRoute:
+    def test_self_route_is_single_node(self):
+        assert xy_route((1, 1), (1, 1)) == [(1, 1)]
+
+    def test_x_before_y(self):
+        assert xy_route((0, 0), (2, 1)) == [(0, 0), (1, 0), (2, 0), (2, 1)]
+
+    def test_negative_directions(self):
+        assert xy_route((2, 2), (0, 0)) == [
+            (2, 2), (1, 2), (0, 2), (0, 1), (0, 0),
+        ]
+
+    def test_route_links_pairs(self):
+        links = route_links((0, 0), (1, 1))
+        assert links == [((0, 0), (1, 0)), ((1, 0), (1, 1))]
+
+    @given(
+        sx=st.integers(0, 7), sy=st.integers(0, 7),
+        dx=st.integers(0, 7), dy=st.integers(0, 7),
+    )
+    def test_route_is_minimal(self, sx, sy, dx, dy):
+        path = xy_route((sx, sy), (dx, dy))
+        manhattan = abs(dx - sx) + abs(dy - sy)
+        assert len(path) == manhattan + 1
+        assert path[0] == (sx, sy)
+        assert path[-1] == (dx, dy)
+        # Each step moves exactly one hop.
+        for a, b in zip(path[:-1], path[1:]):
+            assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1

@@ -1,0 +1,95 @@
+"""Tests for vertex-program data structures."""
+
+import pytest
+
+from repro.runtime import (
+    AcceleratorProgram,
+    LayerProgram,
+    TraversalRound,
+    VertexTask,
+)
+
+
+class TestVertexTask:
+    def test_defaults_are_empty_phases(self):
+        task = VertexTask(vertex=3)
+        assert not task.has_aggregation
+        assert not task.has_dna_job
+        assert task.traversal_visits == 0
+
+    def test_gather_implies_aggregation(self):
+        task = VertexTask(vertex=0, gather_count=4, gather_bytes_each=64)
+        assert task.has_aggregation
+        assert task.expected_inputs == 4
+
+    def test_local_contributions_require_traversal(self):
+        with pytest.raises(ValueError):
+            VertexTask(vertex=0, local_contributions=3)
+
+    def test_local_contributions_with_traversal(self):
+        task = VertexTask(
+            vertex=0,
+            traversal=(TraversalRound(count=3, bytes_each=4),),
+            local_contributions=3,
+        )
+        assert task.has_aggregation
+        assert task.expected_inputs == 3
+        assert task.traversal_visits == 3
+
+    def test_expected_inputs_sums_sources(self):
+        task = VertexTask(
+            vertex=0,
+            traversal=(TraversalRound(count=2, bytes_each=4),),
+            gather_count=5,
+            gather_bytes_each=64,
+            local_contributions=2,
+        )
+        assert task.expected_inputs == 7
+
+    def test_dna_job_flag(self):
+        assert VertexTask(vertex=0, dna_macs=100).has_dna_job
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            VertexTask(vertex=-1)
+        with pytest.raises(ValueError):
+            VertexTask(vertex=0, dna_macs=-5)
+        with pytest.raises(ValueError):
+            TraversalRound(count=-1, bytes_each=4)
+
+
+class TestLayerProgram:
+    def test_requires_tasks(self):
+        with pytest.raises(ValueError):
+            LayerProgram(name="empty", tasks=[])
+
+    def test_efficiency_bounds(self):
+        with pytest.raises(ValueError):
+            LayerProgram(
+                name="bad", tasks=[VertexTask(vertex=0)], dna_efficiency=0.0
+            )
+
+    def test_totals(self):
+        layer = LayerProgram(
+            name="l",
+            tasks=[
+                VertexTask(vertex=0, dna_macs=10),
+                VertexTask(
+                    vertex=1,
+                    traversal=(TraversalRound(count=4, bytes_each=4),),
+                ),
+            ],
+        )
+        assert layer.total_dna_macs == 10
+        assert layer.total_visits == 4
+
+
+class TestAcceleratorProgram:
+    def test_requires_layers(self):
+        with pytest.raises(ValueError):
+            AcceleratorProgram(name="empty", layers=[])
+
+    def test_task_count(self):
+        layer = LayerProgram(name="l", tasks=[VertexTask(vertex=0)])
+        program = AcceleratorProgram(name="p", layers=[layer, layer])
+        assert program.num_tasks == 2

@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_arguments(self):
+        args = build_parser().parse_args(
+            ["simulate", "gcn-cora", "--config", "GPU iso-BW",
+             "--clock", "1.2"]
+        )
+        assert args.benchmark == "gcn-cora"
+        assert args.config == "GPU iso-BW"
+        assert args.clock == 1.2
+
+    def test_figure8_fast_flag(self):
+        args = build_parser().parse_args(["figure8", "--fast"])
+        assert args.fast
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcn-cora" in out
+        assert "table2" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "182" in capsys.readouterr().out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        assert "4 flits, 256B" in capsys.readouterr().out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "19717" in out  # Pubmed nodes
+
+    def test_table6(self, capsys):
+        assert main(["table6"]) == 0
+        assert "3168" in capsys.readouterr().out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Pubmed" in out
+        assert "22.129" in out  # paper reference value
+
+    def test_figure9(self, capsys):
+        assert main(["figure9"]) == 0
+        assert "T M" in capsys.readouterr().out
+
+    def test_table7(self, capsys):
+        assert main(["table7"]) == 0
+        assert "2716" in capsys.readouterr().out
+
+    def test_simulate_fast_benchmark(self, capsys):
+        assert main(["simulate", "pgnn-dblp_1"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+        assert "GPE utilization" in out
+
+    def test_simulate_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            main(["simulate", "bert-wikipedia"])

@@ -1,0 +1,69 @@
+"""Smoke tests: every fast example must run end to end.
+
+The examples are the public face of the library; these tests import each
+script and run its ``main()``, asserting it produces output and raises
+nothing.  The two multi-minute scripts (``reproduce_paper`` and
+``design_sweeps``) are exercised through their building blocks in
+``tests/eval`` instead; here we only check they parse and expose main().
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+FAST_EXAMPLES = [
+    "quickstart",
+    "dnn_accelerator_study",
+    "noc_traffic_study",
+    "trace_debugging",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys):
+    module = load_example(name)
+    module.main()
+    out = capsys.readouterr().out
+    assert len(out.splitlines()) > 3
+
+
+def test_quickstart_reports_speedup(capsys):
+    load_example("quickstart").main()
+    out = capsys.readouterr().out
+    assert "speedup over the measured CPU baseline" in out
+    assert "simulated latency" in out
+
+
+def test_dnn_study_reports_pubmed_waste(capsys):
+    load_example("dnn_accelerator_study").main()
+    out = capsys.readouterr().out
+    assert "Pubmed" in out
+    assert "Global buffer sweep" in out
+
+
+@pytest.mark.parametrize(
+    "name",
+    FAST_EXAMPLES + [
+        "gnn_model_zoo",
+        "custom_gnn_accelerator",
+        "design_sweeps",
+        "reproduce_paper",
+    ],
+)
+def test_every_example_defines_main(name):
+    module = load_example(name)
+    assert callable(module.main)
