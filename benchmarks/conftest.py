@@ -13,13 +13,20 @@ from __future__ import annotations
 import pytest
 
 from repro.eval.accelerator import run_benchmark, _compiled_program
+from repro.exp import cache as result_cache
 
 
 @pytest.fixture
 def fresh_simulations():
-    """Clear the simulation cache so a benchmark times real work."""
+    """Clear the simulation caches so a benchmark times real work.
+
+    Drops the in-memory memo and bypasses the persistent on-disk store
+    for the duration — otherwise a second benchmark run would time JSON
+    reads instead of simulations.
+    """
     run_benchmark.cache_clear()
-    yield
+    with result_cache.disabled():
+        yield
     run_benchmark.cache_clear()
 
 

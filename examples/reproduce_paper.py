@@ -5,8 +5,12 @@ sweep, the Figure 9 topologies, and the Figure 10 utilizations, each next
 to the paper's reported values where the paper gives them.  This is the
 script whose output EXPERIMENTS.md records.
 
-Run:  python examples/reproduce_paper.py          (~3 minutes)
+Run:  python examples/reproduce_paper.py          (~3 minutes cold)
       python examples/reproduce_paper.py --fast   (skip MPNN, ~40 s)
+      python examples/reproduce_paper.py --jobs 8 (parallel Figure 8)
+
+Repeat runs are served from the persistent result cache (~/.cache/repro)
+and complete in seconds.
 """
 
 import argparse
@@ -85,10 +89,10 @@ def print_table7() -> None:
     ))
 
 
-def print_figure8(benchmarks) -> None:
+def print_figure8(benchmarks, jobs=1) -> None:
     from repro.eval import figure8_chart
 
-    cells = figure8(benchmarks=benchmarks)
+    cells = figure8(benchmarks=benchmarks, jobs=jobs)
     for config in ("CPU iso-BW", "GPU iso-BW", "GPU iso-FLOPS"):
         rows = []
         for key in benchmarks:
@@ -135,6 +139,11 @@ def main() -> None:
         "--fast", action="store_true",
         help="skip the MPNN benchmark (the slowest simulation)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the Figure 8 sweep (results are "
+             "bit-identical to the serial run)",
+    )
     args = parser.parse_args()
     benchmarks = tuple(
         b.key for b in BENCHMARKS
@@ -146,7 +155,7 @@ def main() -> None:
     print()
     print_table7()
     print()
-    print_figure8(benchmarks)
+    print_figure8(benchmarks, jobs=args.jobs)
     print_figure10()
     cpu_measured = {k: v[0] for k, v in TABLE7_MEASURED_MS.items()}
     print(f"\n(Reference CPU baselines: {cpu_measured})")

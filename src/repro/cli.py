@@ -6,6 +6,7 @@ Usage::
     python -m repro table2               # Section II latencies
     python -m repro figure8 --fast       # speedups without MPNN
     python -m repro simulate gcn-cora --config "GPU iso-BW" --clock 1.2
+    python -m repro sweep --jobs 4       # Figure 8 grid, parallel + cached
 """
 
 from __future__ import annotations
@@ -20,6 +21,8 @@ def _cmd_list(_args) -> None:
     print("artifacts: table1 table2 figure2 table3 table4 table5 table6 "
           "table7 figure8 figure9 figure10 energy")
     print("commands:  simulate <benchmark> [--config NAME] [--clock GHZ]")
+    print("           sweep [--jobs N] [--benchmarks ...] [--configs ...]"
+          " [--clocks ...]")
     from repro.models import BENCHMARKS
 
     print(f"benchmarks: {' '.join(b.key for b in BENCHMARKS)}")
@@ -142,6 +145,49 @@ def _cmd_energy(_args) -> None:
     ))
 
 
+def _cmd_sweep(args) -> None:
+    import time
+
+    from repro.exp.cache import ResultCache
+    from repro.exp.runner import default_jobs, figure8_points, run_sweep
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    points = figure8_points(
+        benchmarks=tuple(args.benchmarks) or None,
+        clocks=tuple(args.clocks),
+        configs=tuple(args.configs) or None,
+    )
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    hits = 0
+
+    def progress(point, report, was_cached) -> None:
+        nonlocal hits
+        hits += was_cached
+        source = "cache" if was_cached else f"sim x{jobs}"
+        print(f"  [{source:>7s}] {point.benchmark_key:16s} "
+              f"{point.resolved_config.name:14s} "
+              f"@{point.resolved_config.clock_ghz:g} GHz: "
+              f"{report.latency_ms:10.3f} ms")
+
+    start = time.perf_counter()
+    reports = run_sweep(points, jobs=jobs, cache=cache, progress=progress)
+    elapsed = time.perf_counter() - start
+    rows = [
+        (p.resolved_config.name, p.benchmark_key,
+         p.resolved_config.clock_ghz, r.latency_ms,
+         f"{r.bandwidth_utilization:.0%}", f"{r.dna_utilization:.0%}")
+        for p, r in zip(points, reports)
+    ]
+    print(format_table(
+        ["Config", "Benchmark", "Clock (GHz)", "Latency (ms)", "BW util",
+         "DNA util"],
+        rows, title="Sweep results",
+    ))
+    simulated = len({p.key for p in points}) - hits
+    print(f"{len(points)} points ({hits} cached, {simulated} simulated) "
+          f"in {elapsed:.2f} s with {jobs} job(s)")
+
+
 def _cmd_simulate(args) -> None:
     from repro.eval.accelerator import run_benchmark
 
@@ -181,6 +227,35 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("benchmark", help="e.g. gcn-cora")
     simulate.add_argument("--config", default="CPU iso-BW")
     simulate.add_argument("--clock", type=float, default=2.4)
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a benchmark x config x clock grid, parallel and cached",
+    )
+    sweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores)",
+    )
+    sweep.add_argument(
+        "--benchmarks", nargs="*", default=(), metavar="KEY",
+        help="benchmark keys (default: all six)",
+    )
+    sweep.add_argument(
+        "--configs", nargs="*", default=(), metavar="NAME",
+        help="Table VI configuration names (default: all three)",
+    )
+    sweep.add_argument(
+        "--clocks", nargs="*", type=float, default=(1.2, 2.4),
+        metavar="GHZ", help="tile clocks (default: 1.2 2.4)",
+    )
+    sweep.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent cache root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    sweep.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache entirely",
+    )
     return parser
 
 
@@ -196,6 +271,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure10": _cmd_figure10,
         "energy": _cmd_energy,
         "simulate": _cmd_simulate,
+        "sweep": _cmd_sweep,
     }
     if args.command in ("table1", "table3", "table4", "table5", "table6"):
         _cmd_config_table(args.command)

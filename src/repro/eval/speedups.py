@@ -11,18 +11,23 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.baselines.table7 import baseline_latency_ms
-from repro.eval.accelerator import run_benchmark
+from repro.eval.accelerator import _config_by_name
+from repro.exp.cache import DEFAULT_CACHE
+from repro.exp.runner import (
+    FIGURE8_CLOCKS,
+    FIGURE8_GROUPS,
+    Point,
+    run_sweep,
+)
 from repro.models.registry import BENCHMARKS
 
-#: (configuration, baseline system) pairs, in Figure 8 order.
-FIGURE8_GROUPS: tuple[tuple[str, str], ...] = (
-    ("CPU iso-BW", "cpu"),
-    ("GPU iso-BW", "gpu"),
-    ("GPU iso-FLOPS", "gpu"),
-)
-
-#: Tile clocks swept in the figure (GHz).
-FIGURE8_CLOCKS: tuple[float, ...] = (1.2, 2.4)
+__all__ = [
+    "FIGURE8_CLOCKS",
+    "FIGURE8_GROUPS",
+    "Figure8Cell",
+    "figure8",
+    "mean_speedup",
+]
 
 
 @dataclass(frozen=True)
@@ -46,26 +51,42 @@ def figure8(
     clocks: tuple[float, ...] = FIGURE8_CLOCKS,
     groups: tuple[tuple[str, str], ...] = FIGURE8_GROUPS,
     benchmarks: tuple[str, ...] | None = None,
+    jobs: int = 1,
+    cache: object = DEFAULT_CACHE,
 ) -> list[Figure8Cell]:
-    """All Figure 8 bars: configs x benchmarks x clocks."""
+    """All Figure 8 bars: configs x benchmarks x clocks.
+
+    ``jobs > 1`` distributes uncached simulations over a process pool
+    (:func:`repro.exp.runner.run_sweep`); results are identical to the
+    serial path.
+    """
     keys = benchmarks or tuple(b.key for b in BENCHMARKS)
+    grid = [
+        (config_name, baseline_system, key, clock)
+        for config_name, baseline_system in groups
+        for key in keys
+        for clock in clocks
+    ]
+    points = [
+        Point(key, _config_by_name(config_name), clock)
+        for config_name, _, key, clock in grid
+    ]
+    reports = run_sweep(points, jobs=jobs, cache=cache)
     cells = []
-    for config_name, baseline_system in groups:
-        for key in keys:
-            benchmark = next(b for b in BENCHMARKS if b.key == key)
-            base_ms = baseline_latency_ms(benchmark, baseline_system)
-            for clock in clocks:
-                report = run_benchmark(key, config_name, clock)
-                cells.append(
-                    Figure8Cell(
-                        config=config_name,
-                        baseline=baseline_system,
-                        benchmark=key,
-                        clock_ghz=clock,
-                        latency_ms=report.latency_ms,
-                        baseline_ms=base_ms,
-                    )
-                )
+    for (config_name, baseline_system, key, clock), report in zip(
+        grid, reports
+    ):
+        benchmark = next(b for b in BENCHMARKS if b.key == key)
+        cells.append(
+            Figure8Cell(
+                config=config_name,
+                baseline=baseline_system,
+                benchmark=key,
+                clock_ghz=clock,
+                latency_ms=report.latency_ms,
+                baseline_ms=baseline_latency_ms(benchmark, baseline_system),
+            )
+        )
     return cells
 
 

@@ -3,7 +3,9 @@
 Beyond the fixed Figure 8 operating points, users exploring the design
 want curves: latency vs clock, vs memory bandwidth, vs tile count.  Each
 sweep builds derived :class:`~repro.accel.config.AcceleratorConfig`
-instances and simulates one benchmark across them.
+instances and simulates one benchmark across them — through the
+experiment harness (:mod:`repro.exp`), so points are cached persistently
+and ``jobs > 1`` simulates them in parallel.
 """
 
 from __future__ import annotations
@@ -12,8 +14,8 @@ import dataclasses
 from dataclasses import dataclass
 
 from repro.accel.config import AcceleratorConfig
-from repro.eval.accelerator import _compiled_program
-from repro.runtime.engine import simulate
+from repro.exp.cache import DEFAULT_CACHE
+from repro.exp.runner import Point, run_sweep
 from repro.runtime.report import SimulationReport
 
 
@@ -30,63 +32,80 @@ class SweepPoint:
         return self.report.latency_ms
 
 
+def _sweep(
+    parameter: str,
+    benchmark_key: str,
+    values: tuple[float, ...],
+    configs: list[AcceleratorConfig],
+    jobs: int,
+    cache: object,
+) -> list[SweepPoint]:
+    """Simulate one benchmark across derived configs, labelled by value."""
+    reports = run_sweep(
+        [Point(benchmark_key, config) for config in configs],
+        jobs=jobs,
+        cache=cache,
+    )
+    return [
+        SweepPoint(parameter=parameter, value=value, report=report)
+        for value, report in zip(values, reports)
+    ]
+
+
 def clock_sweep(
     benchmark_key: str,
     config: AcceleratorConfig,
     clocks_ghz: tuple[float, ...] = (0.6, 1.2, 2.4),
+    jobs: int = 1,
+    cache: object = DEFAULT_CACHE,
 ) -> list[SweepPoint]:
     """Latency vs tile clock (NoC and memory bandwidth stay fixed)."""
-    program = _compiled_program(benchmark_key)
-    return [
-        SweepPoint(
-            parameter="clock_ghz",
-            value=clock,
-            report=simulate(program, config.with_clock(clock)),
-        )
-        for clock in clocks_ghz
-    ]
+    return _sweep(
+        "clock_ghz",
+        benchmark_key,
+        clocks_ghz,
+        [config.with_clock(clock) for clock in clocks_ghz],
+        jobs,
+        cache,
+    )
 
 
 def bandwidth_sweep(
     benchmark_key: str,
     config: AcceleratorConfig,
     bandwidths_gbps: tuple[float, ...] = (17.0, 34.0, 68.0, 136.0),
+    jobs: int = 1,
+    cache: object = DEFAULT_CACHE,
 ) -> list[SweepPoint]:
     """Latency vs per-node memory bandwidth."""
-    program = _compiled_program(benchmark_key)
-    points = []
-    for bandwidth in bandwidths_gbps:
-        memory = dataclasses.replace(
-            config.memory, bandwidth_gbps=bandwidth
-        )
-        derived = dataclasses.replace(
+    configs = [
+        dataclasses.replace(
             config,
             name=f"{config.name} @ {bandwidth:g} GBps",
-            memory=memory,
+            memory=dataclasses.replace(
+                config.memory, bandwidth_gbps=bandwidth
+            ),
         )
-        points.append(
-            SweepPoint(
-                parameter="bandwidth_gbps",
-                value=bandwidth,
-                report=simulate(program, derived),
-            )
-        )
-    return points
+        for bandwidth in bandwidths_gbps
+    ]
+    return _sweep(
+        "bandwidth_gbps", benchmark_key, bandwidths_gbps, configs, jobs, cache
+    )
 
 
 def tile_sweep(
     benchmark_key: str,
     tile_counts: tuple[int, ...] = (1, 2, 4, 8),
     base: AcceleratorConfig | None = None,
+    jobs: int = 1,
+    cache: object = DEFAULT_CACHE,
 ) -> list[SweepPoint]:
     """Latency vs tile+memory pair count (adjacent column pairs)."""
     from repro.accel.config import CPU_ISO_BW
 
     template = base or CPU_ISO_BW
-    program = _compiled_program(benchmark_key)
-    points = []
-    for pairs in tile_counts:
-        config = AcceleratorConfig(
+    configs = [
+        AcceleratorConfig(
             name=f"{pairs}-pair",
             mesh_width=2,
             mesh_height=pairs,
@@ -97,14 +116,16 @@ def tile_sweep(
             noc=template.noc,
             clock_ghz=template.clock_ghz,
         )
-        points.append(
-            SweepPoint(
-                parameter="tiles",
-                value=float(pairs),
-                report=simulate(program, config),
-            )
-        )
-    return points
+        for pairs in tile_counts
+    ]
+    return _sweep(
+        "tiles",
+        benchmark_key,
+        tuple(float(pairs) for pairs in tile_counts),
+        configs,
+        jobs,
+        cache,
+    )
 
 
 def bound_analysis(points: list[SweepPoint]) -> str:

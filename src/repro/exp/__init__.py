@@ -1,0 +1,40 @@
+"""Experiment harness: parallel sweeps over a persistent result store.
+
+Every evaluation driver funnels simulations through two caching layers:
+
+* an **in-memory memo** (per process, identity-preserving), and
+* a **persistent on-disk store** (:class:`~repro.exp.cache.ResultCache`,
+  shared across processes and invocations),
+
+both keyed by a content hash of the benchmark key plus every
+:class:`~repro.accel.config.AcceleratorConfig` field
+(:func:`~repro.exp.cache.point_key`).  On top of that,
+:func:`~repro.exp.runner.run_sweep` fans cache misses out to a
+``ProcessPoolExecutor`` so design-space sweeps use every core.
+
+See docs/architecture.md ("Experiment harness") for the cache layout and
+invalidation rules.
+"""
+
+from repro.exp.cache import (
+    DEFAULT_CACHE,
+    ResultCache,
+    default_cache,
+    disabled,
+    point_key,
+    set_default_cache,
+)
+from repro.exp.runner import Point, figure8_points, run_sweep, simulate_point
+
+__all__ = [
+    "DEFAULT_CACHE",
+    "ResultCache",
+    "default_cache",
+    "disabled",
+    "point_key",
+    "set_default_cache",
+    "Point",
+    "figure8_points",
+    "run_sweep",
+    "simulate_point",
+]

@@ -1,0 +1,177 @@
+"""Parallel sweep execution over the persistent result cache.
+
+:func:`run_sweep` takes a list of :class:`Point`s — (benchmark, config,
+clock) operating points — answers as many as it can from the caching
+layers (per-process memo, then the on-disk
+:class:`~repro.exp.cache.ResultCache`), and fans the misses out to a
+``ProcessPoolExecutor``.  Simulation is bit-deterministic, so the
+parallel path returns results identical to the serial one
+(``tests/exp/test_determinism.py`` asserts this field by field); workers
+hand reports back through :mod:`repro.runtime.serialize`, the same
+representation the persistent store uses.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.accel.config import AcceleratorConfig
+from repro.exp.cache import DEFAULT_CACHE, lookup, point_key, store
+from repro.runtime.report import SimulationReport
+from repro.runtime.serialize import report_from_dict, report_to_dict
+
+#: Figure 8's (configuration, baseline system) groups, in paper order.
+FIGURE8_GROUPS: tuple[tuple[str, str], ...] = (
+    ("CPU iso-BW", "cpu"),
+    ("GPU iso-BW", "gpu"),
+    ("GPU iso-FLOPS", "gpu"),
+)
+
+#: Tile clocks swept in Figure 8 (GHz).
+FIGURE8_CLOCKS: tuple[float, ...] = (1.2, 2.4)
+
+
+@dataclass(frozen=True)
+class Point:
+    """One operating point of a sweep: a benchmark on a configuration.
+
+    ``clock_ghz`` overrides the configuration's tile clock (Figure 8
+    sweeps the clock while the config identifies the Table VI row).
+    """
+
+    benchmark_key: str
+    config: AcceleratorConfig
+    clock_ghz: float | None = None
+
+    @property
+    def resolved_config(self) -> AcceleratorConfig:
+        """The configuration with the point's clock applied."""
+        if self.clock_ghz is None or self.clock_ghz == self.config.clock_ghz:
+            return self.config
+        return self.config.with_clock(self.clock_ghz)
+
+    @property
+    def key(self) -> str:
+        """Content-hash cache key (see :func:`repro.exp.cache.point_key`)."""
+        return point_key(self.benchmark_key, self.resolved_config)
+
+
+def simulate_point(point: Point) -> SimulationReport:
+    """Compile (memoized per process) and simulate one point."""
+    from repro.eval.accelerator import _compiled_program
+    from repro.runtime.engine import simulate
+
+    return simulate(
+        _compiled_program(point.benchmark_key), point.resolved_config
+    )
+
+
+def _worker(point: Point) -> dict[str, Any]:
+    """Pool worker: simulate and return serialized plain data.
+
+    Reports cross the process boundary through
+    :func:`repro.runtime.serialize.report_to_dict` — the exact
+    representation the persistent cache stores — so a parallel result is
+    byte-for-byte what a cache hit of the same point would yield.
+    """
+    return report_to_dict(simulate_point(point))
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not choose one."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_sweep(
+    points: Iterable[Point],
+    jobs: int = 1,
+    cache: object = DEFAULT_CACHE,
+    progress: Callable[[Point, SimulationReport, bool], None] | None = None,
+) -> list[SimulationReport]:
+    """Simulate every point, cached and (optionally) in parallel.
+
+    Returns one report per input point, in input order; duplicate points
+    are simulated once.  ``jobs <= 1`` runs inline in this process;
+    ``jobs > 1`` distributes cache misses over a process pool.
+    ``progress``, when given, is called as each point completes with
+    ``(point, report, was_cached)``.
+    """
+    points = list(points)
+    keys = [p.key for p in points]
+    results: dict[str, SimulationReport] = {}
+    missing: list[Point] = []
+    for point, key in zip(points, keys):
+        if key in results:
+            continue
+        hit = lookup(key, cache)
+        if hit is not None:
+            results[key] = hit
+            if progress is not None:
+                progress(point, hit, True)
+        elif all(m.key != key for m in missing):
+            missing.append(point)
+
+    if missing:
+        if jobs <= 1 or len(missing) == 1:
+            for point in missing:
+                report = simulate_point(point)
+                store(point.key, report, cache)
+                results[point.key] = report
+                if progress is not None:
+                    progress(point, report, False)
+        else:
+            _run_parallel(missing, jobs, cache, results, progress)
+
+    return [results[key] for key in keys]
+
+
+def _run_parallel(
+    missing: Sequence[Point],
+    jobs: int,
+    cache: object,
+    results: dict[str, SimulationReport],
+    progress: Callable[[Point, SimulationReport, bool], None] | None,
+) -> None:
+    """Fan points out to worker processes; parent persists the results."""
+    # Compile each distinct benchmark once in the parent before the pool
+    # starts: fork-based workers inherit the warm program memo instead of
+    # all re-compiling (and re-generating datasets) independently.
+    from repro.eval.accelerator import _compiled_program
+
+    for benchmark_key in dict.fromkeys(p.benchmark_key for p in missing):
+        _compiled_program(benchmark_key)
+
+    workers = min(jobs, len(missing))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {pool.submit(_worker, point): point for point in missing}
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                point = pending.pop(future)
+                report = report_from_dict(future.result())
+                store(point.key, report, cache)
+                results[point.key] = report
+                if progress is not None:
+                    progress(point, report, False)
+
+
+def figure8_points(
+    benchmarks: Sequence[str] | None = None,
+    clocks: Sequence[float] = FIGURE8_CLOCKS,
+    configs: Sequence[str] | None = None,
+) -> list[Point]:
+    """The Figure 8 sweep grid: configs x benchmarks x clocks."""
+    from repro.eval.accelerator import _config_by_name
+    from repro.models.registry import BENCHMARKS
+
+    keys = tuple(benchmarks or (b.key for b in BENCHMARKS))
+    names = tuple(configs or (group[0] for group in FIGURE8_GROUPS))
+    return [
+        Point(key, _config_by_name(name), clock)
+        for name in names
+        for key in keys
+        for clock in clocks
+    ]

@@ -1,0 +1,20 @@
+"""Suite-wide fixtures.
+
+The persistent result cache is pointed at a per-session temporary
+directory: tests still exercise the full memo -> disk -> simulate path,
+but never read results left by earlier runs (which could mask simulator
+changes) and never pollute ``~/.cache/repro``.
+"""
+
+import pytest
+
+from repro.exp import cache as result_cache
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _hermetic_result_cache(tmp_path_factory):
+    root = tmp_path_factory.mktemp("repro-result-cache")
+    result_cache.set_default_cache(result_cache.ResultCache(root))
+    yield
+    result_cache.clear_memo()
+    result_cache.reset_default_cache()

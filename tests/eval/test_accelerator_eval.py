@@ -104,6 +104,44 @@ class TestFigure8FastPath:
         assert cell.speedup == 5.0
 
 
+class TestConfigContentKeying:
+    def test_mutated_configurations_entry_is_not_served_stale(
+        self, monkeypatch
+    ):
+        # Regression: run_benchmark used to memoize on the *name* of the
+        # configuration, so replacing a CONFIGURATIONS entry (as
+        # examples/design_sweeps.py encourages) silently returned the old
+        # report.  Keys are content hashes of the resolved config now.
+        import dataclasses
+
+        from repro.accel.config import CPU_ISO_BW
+        from repro.eval import accelerator
+
+        baseline = run_benchmark("gcn-cora", "CPU iso-BW", 2.4)
+        starved = dataclasses.replace(
+            CPU_ISO_BW,
+            memory=dataclasses.replace(
+                CPU_ISO_BW.memory, bandwidth_gbps=17.0
+            ),
+        )
+        assert starved.name == "CPU iso-BW"  # same name, different hardware
+        monkeypatch.setattr(
+            accelerator, "CONFIGURATIONS",
+            tuple(
+                starved if c.name == "CPU iso-BW" else c
+                for c in accelerator.CONFIGURATIONS
+            ),
+        )
+        report = run_benchmark("gcn-cora", "CPU iso-BW", 2.4)
+        assert report is not baseline
+        # GCN is bandwidth-bound: a quarter of the memory bandwidth must
+        # show up as a real slowdown, not a stale cache hit.
+        assert report.latency_ms > 1.5 * baseline.latency_ms
+        # The untouched operating point is still served from the cache.
+        assert run_benchmark("gcn-cora", "CPU iso-BW", 2.4) is report
+
+
+@pytest.mark.slow
 class TestFigure10:
     def test_rows_cover_all_benchmarks(self):
         # figure10 simulates all six benchmarks; reuse of the shared cache

@@ -4,6 +4,8 @@ import pytest
 
 from repro.eval.energy import energy_table
 
+pytestmark = pytest.mark.slow  # simulates all six benchmarks, incl. MPNN
+
 
 @pytest.fixture(scope="module")
 def rows():

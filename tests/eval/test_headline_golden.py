@@ -1,0 +1,51 @@
+"""Golden-value regression test for the headline metrics.
+
+``tests/eval/headline_golden.json`` is a checked-in snapshot of
+:func:`repro.eval.summary.headline_metrics` (CPU iso-BW ~18x paper /
+14.8x here, GPU iso-BW ~7.5x / 12.2x, MPNN >60x, PGNN ~0.89x).  The
+simulator is deterministic, so any drift beyond 1% means a model,
+compiler, or engine change moved the reproduction — intentional changes
+must regenerate the snapshot:
+
+    PYTHONPATH=src python -c "import json; \
+        from repro.eval.summary import headline_metrics; \
+        json.dump(headline_metrics(), \
+                  open('tests/eval/headline_golden.json', 'w'), \
+                  indent=2, sort_keys=True)"
+
+(and say why in the commit message).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.eval.summary import headline_metrics
+
+GOLDEN_PATH = Path(__file__).with_name("headline_golden.json")
+
+pytestmark = pytest.mark.slow  # full Figure 8 sweep, including MPNN
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def metrics():
+    return headline_metrics()
+
+
+def test_golden_covers_every_metric(golden, metrics):
+    assert set(golden) == set(metrics)
+
+
+@pytest.mark.parametrize("name", sorted(json.loads(GOLDEN_PATH.read_text())))
+def test_metric_within_one_percent_of_golden(name, golden, metrics):
+    assert metrics[name] == pytest.approx(golden[name], rel=0.01), (
+        f"{name} drifted more than 1% from the checked-in golden value; "
+        "if the change is intentional, regenerate headline_golden.json "
+        "(see module docstring)"
+    )

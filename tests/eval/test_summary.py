@@ -9,6 +9,8 @@ import pytest
 
 from repro.eval.summary import headline_metrics
 
+pytestmark = pytest.mark.slow  # full Figure 8 sweep, including MPNN
+
 
 @pytest.fixture(scope="module")
 def metrics():

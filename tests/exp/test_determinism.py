@@ -1,0 +1,142 @@
+"""Determinism suite: the parallel sweep path is bit-identical to serial.
+
+The simulator is deterministic by construction (same-timestamp events
+fire in scheduling order — docs/architecture.md §1); this suite locks
+the property in across the process boundary.  The same small grid is
+swept inline (``jobs=1``) and over a four-worker pool (``jobs=4``), and
+every report field must compare equal — via
+:func:`repro.runtime.serialize.report_to_dict`, the round-trip
+representation both the worker transport and the persistent cache use.
+"""
+
+import pytest
+
+from repro.accel.config import CPU_ISO_BW
+from repro.exp.cache import ResultCache, clear_memo
+from repro.exp.runner import Point, run_sweep
+from repro.runtime.serialize import report_from_dict, report_to_dict
+
+#: Small but heterogeneous grid: a bandwidth-bound and a GPE-bound
+#: benchmark, each at two clocks (4 points, fast models only).
+GRID = [
+    Point("gcn-cora", CPU_ISO_BW, 1.2),
+    Point("gcn-cora", CPU_ISO_BW, 2.4),
+    Point("pgnn-dblp_1", CPU_ISO_BW, 1.2),
+    Point("pgnn-dblp_1", CPU_ISO_BW, 2.4),
+]
+
+
+@pytest.fixture(scope="module")
+def serial_reports():
+    clear_memo()
+    try:
+        return run_sweep(GRID, jobs=1, cache=None)
+    finally:
+        clear_memo()
+
+
+@pytest.fixture(scope="module")
+def parallel_reports():
+    # The memo is cleared *before* the pool is created so forked workers
+    # start cold and genuinely simulate in parallel.
+    clear_memo()
+    try:
+        return run_sweep(GRID, jobs=4, cache=None)
+    finally:
+        clear_memo()
+
+
+class TestParallelEqualsSerial:
+    def test_one_report_per_point_in_order(self, serial_reports,
+                                           parallel_reports):
+        assert len(serial_reports) == len(GRID)
+        assert len(parallel_reports) == len(GRID)
+        for point, report in zip(GRID, parallel_reports):
+            assert report.clock_ghz == point.clock_ghz
+
+    def test_reports_equal_field_by_field(self, serial_reports,
+                                          parallel_reports):
+        for point, serial, parallel in zip(GRID, serial_reports,
+                                           parallel_reports):
+            assert report_to_dict(serial) == report_to_dict(parallel), (
+                f"parallel result diverged from serial at {point}"
+            )
+
+    def test_layer_timings_identical(self, serial_reports,
+                                     parallel_reports):
+        # report_to_dict covers this too, but assert the load-bearing
+        # fields explicitly so a diff names the culprit.
+        for serial, parallel in zip(serial_reports, parallel_reports):
+            assert serial.latency_ns == parallel.latency_ns
+            assert [
+                (l.name, l.start_ns, l.end_ns, l.num_tasks)
+                for l in serial.layers
+            ] == [
+                (l.name, l.start_ns, l.end_ns, l.num_tasks)
+                for l in parallel.layers
+            ]
+
+    def test_round_trip_through_serialize_is_lossless(self, serial_reports):
+        for report in serial_reports:
+            rebuilt = report_from_dict(report_to_dict(report))
+            assert report_to_dict(rebuilt) == report_to_dict(report)
+            assert rebuilt.latency_ns == report.latency_ns
+
+
+class TestSweepSemantics:
+    def test_duplicate_points_simulated_once(self):
+        clear_memo()
+        try:
+            reports = run_sweep(
+                [GRID[0], GRID[1], GRID[0]], jobs=1, cache=None
+            )
+            assert reports[0] is reports[2]
+            assert reports[0] is not reports[1]
+        finally:
+            clear_memo()
+
+    def test_parallel_results_persist_and_reload(self, tmp_path,
+                                                 serial_reports):
+        cache = ResultCache(tmp_path)
+        clear_memo()
+        try:
+            first = run_sweep(GRID, jobs=2, cache=cache)
+            assert len(cache) == len(GRID)
+
+            # A fresh process would see an empty memo; simulate that and
+            # demand every point comes back from disk, bit-identical.
+            clear_memo()
+            hits = []
+            second = run_sweep(
+                GRID, jobs=2, cache=cache,
+                progress=lambda p, r, cached: hits.append(cached),
+            )
+            assert hits == [True] * len(GRID)
+            for a, b, reference in zip(first, second, serial_reports):
+                assert report_to_dict(a) == report_to_dict(b)
+                assert report_to_dict(a) == report_to_dict(reference)
+        finally:
+            clear_memo()
+
+
+class TestFigure8Parallel:
+    def test_figure8_cells_identical_across_paths(self):
+        from repro.eval.speedups import figure8
+
+        kwargs = dict(
+            clocks=(2.4,),
+            groups=(("CPU iso-BW", "cpu"),),
+            benchmarks=("gcn-cora", "pgnn-dblp_1"),
+            cache=None,
+        )
+        clear_memo()
+        try:
+            serial = figure8(jobs=1, **kwargs)
+            clear_memo()
+            parallel = figure8(jobs=4, **kwargs)
+        finally:
+            clear_memo()
+        assert serial == parallel  # frozen dataclasses: field-by-field
+        assert [c.speedup for c in serial] == [
+            c.speedup for c in parallel
+        ]

@@ -23,6 +23,25 @@ class TestParser:
         args = build_parser().parse_args(["figure8", "--fast"])
         assert args.fast
 
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "--jobs", "4", "--benchmarks", "gcn-cora",
+             "--configs", "CPU iso-BW", "--clocks", "1.2", "2.4",
+             "--cache-dir", "/tmp/x", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.benchmarks == ["gcn-cora"]
+        assert args.configs == ["CPU iso-BW"]
+        assert args.clocks == [1.2, 2.4]
+        assert args.cache_dir == "/tmp/x"
+        assert args.no_cache
+
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs is None  # resolved to the core count at run time
+        assert list(args.clocks) == [1.2, 2.4]
+        assert not args.no_cache
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -71,3 +90,23 @@ class TestCommands:
     def test_simulate_unknown_benchmark(self):
         with pytest.raises(KeyError):
             main(["simulate", "bert-wikipedia"])
+
+    def test_sweep_scoped_grid(self, capsys, tmp_path):
+        from repro.exp.cache import clear_memo
+
+        argv = ["sweep", "--jobs", "1", "--benchmarks", "pgnn-dblp_1",
+                "--configs", "CPU iso-BW", "--clocks", "2.4",
+                "--cache-dir", str(tmp_path)]
+        clear_memo()  # other tests may have simulated this point already
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "1 points (0 cached, 1 simulated)" in first
+        # A fresh "process" (memo dropped) is served from the persistent
+        # cache, with identical latencies.
+        clear_memo()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "1 points (1 cached, 0 simulated)" in second
+        latency = [l for l in first.splitlines() if "pgnn" in l]
+        assert latency and latency[-1] in second
+        clear_memo()  # the memo now holds a non-default-cache entry
