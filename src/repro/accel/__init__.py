@@ -38,6 +38,16 @@ from repro.accel.placement import (
 )
 from repro.accel.tile import Tile
 from repro.accel.system import Accelerator
+from repro.accel.faults import (
+    FAULT_KINDS,
+    FaultHandle,
+    FaultSpec,
+    drop_noc_flits,
+    freeze_gpe,
+    inject,
+    random_fault,
+    stall_memory_channel,
+)
 from repro.accel.energy import (
     EnergyModel,
     EnergyReport,
@@ -64,6 +74,14 @@ __all__ = [
     "RangePlacement",
     "Tile",
     "Accelerator",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultHandle",
+    "inject",
+    "random_fault",
+    "stall_memory_channel",
+    "drop_noc_flits",
+    "freeze_gpe",
     "EnergyModel",
     "EnergyReport",
     "estimate_energy",

@@ -71,6 +71,11 @@ class Aggregator(Module):
     def in_flight(self) -> int:
         return len(self._active)
 
+    @property
+    def waiting_allocs(self) -> int:
+        """Allocation requests queued for a free entry (diagnostics)."""
+        return len(self._alloc_waitlist)
+
     # -- allocation -----------------------------------------------------------
 
     def alloc(

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.dataflow.spatial import EYERISS_CONFIG, SpatialArrayConfig
 from repro.noc.config import NOC_CONFIG, NocConfig
 from repro.noc.topology import Coord
+from repro.sim.watchdog import WatchdogConfig
 
 
 @dataclass(frozen=True)
@@ -122,6 +123,11 @@ class AcceleratorConfig:
     # mesh link comfortably carries a 68 GBps memory channel.
     noc: NocConfig = NocConfig(clock_ghz=2.4)
     clock_ghz: float = 2.4
+    # Execution budgets for runs of this configuration.  Budgets bound
+    # *termination*, never results: a run either completes (identically,
+    # watchdog or not) or raises a diagnosable failure — which is why
+    # the result cache excludes this field from its content hash.
+    watchdog: WatchdogConfig = field(default_factory=WatchdogConfig)
 
     def __post_init__(self) -> None:
         if not self.tile_coords or not self.memory_coords:
@@ -163,6 +169,7 @@ class AcceleratorConfig:
             memory=self.memory,
             noc=self.noc,
             clock_ghz=clock_ghz,
+            watchdog=self.watchdog,
         )
 
 

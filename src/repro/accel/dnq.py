@@ -76,6 +76,11 @@ class DnnQueue(Module):
     def slots_in_use(self) -> int:
         return self._slots_in_use
 
+    @property
+    def waiting_reservations(self) -> int:
+        """Reservation requests queued for a free slot (diagnostics)."""
+        return len(self._reserve_waitlist)
+
     # -- delayed enqueue -----------------------------------------------------
 
     def reserve(self, on_grant: Callable[[], None]) -> None:

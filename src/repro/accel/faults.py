@@ -1,0 +1,221 @@
+"""Deterministic fault injection for accelerator robustness testing.
+
+The evaluation stack must *diagnose* a misbehaving accelerator, never
+hang on one.  This module injects the failure modes a real GNN
+accelerator exhibits — a stalled memory channel, dropped or delayed NoC
+flits, a frozen tile GPE — so the test suite can prove every one of them
+terminates within the watchdog budget with a failure naming the stuck
+module (see ``tests/accel/test_faults.py``).
+
+Faults are *reservation blackouts*: each injector occupies the target
+unit's serialized resource (its :class:`~repro.sim.stats.BusyTracker`
+ledger) for a window ``[start_ns, start_ns + duration_ns)``.  Work
+issued against the unit queues FIFO behind the blackout, exactly the
+semantics of a wedged arbiter:
+
+* a **finite** window models a transient glitch — the run completes,
+  slower;
+* an **infinite** window (``duration_ns=math.inf``, reserved out to
+  :data:`STALL_HORIZON_NS`) models a hard fault — the watchdog trips and
+  the engine's suspect scan names the unit whose ledger is wedged.
+
+Because the blackout is one FIFO reservation made before the run starts,
+injection is perfectly deterministic and composes with the simulator's
+bit-determinism: the same :class:`FaultSpec` on the same workload yields
+the same trajectory every time.  (FIFO ledgers serve in *call* order, so
+a blackout also delays requests issued before ``start_ns`` — acceptable
+for fault studies, and documented in docs/architecture.md §1.)
+
+Specs are seed-addressable: :func:`random_fault` derives kind, target,
+onset, and duration deterministically from an integer seed, so a fuzzing
+loop over seeds is reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.accel.system import Accelerator
+
+#: Absolute timestamp used to realize an "infinite" blackout: far beyond
+#: any real completion (1e15 ns ≈ 11.5 days of simulated time) yet finite,
+#: so timestamp arithmetic stays well-defined and the watchdog's
+#: simulated-time budget trips deterministically.
+STALL_HORIZON_NS = 1e15
+
+#: Injectable fault kinds.
+FAULT_KINDS = ("mem-stall", "noc-drop", "gpe-freeze")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injectable hardware fault.
+
+    ``target`` indexes the victim unit (modulo the configuration's unit
+    count, so specs transfer across configurations); ``duration_ns`` is
+    the blackout length, ``math.inf`` for a permanent fault.
+    """
+
+    kind: str
+    target: int = 0
+    start_ns: float = 0.0
+    duration_ns: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; valid: {FAULT_KINDS}"
+            )
+        if self.target < 0:
+            raise ValueError("fault target index cannot be negative")
+        if self.start_ns < 0:
+            raise ValueError("fault onset cannot be negative")
+        if not self.duration_ns > 0:
+            raise ValueError("fault duration must be positive")
+
+    @property
+    def permanent(self) -> bool:
+        return math.isinf(self.duration_ns)
+
+
+@dataclass(frozen=True)
+class FaultHandle:
+    """Record of one applied fault: the spec plus the victim's name."""
+
+    spec: FaultSpec
+    module: str
+
+
+def random_fault(
+    seed: int,
+    kinds: tuple[str, ...] = FAULT_KINDS,
+    permanent_fraction: float = 0.5,
+    max_start_ns: float = 50_000.0,
+    max_duration_ns: float = 500_000.0,
+) -> FaultSpec:
+    """A deterministic, seed-addressed fault spec.
+
+    The same seed always produces the same spec — fuzzing campaigns over
+    ``range(n)`` are reproducible and individually re-runnable.
+    """
+    rng = random.Random(seed)
+    kind = rng.choice(list(kinds))
+    permanent = rng.random() < permanent_fraction
+    return FaultSpec(
+        kind=kind,
+        target=rng.randrange(64),
+        start_ns=rng.uniform(0.0, max_start_ns),
+        duration_ns=(
+            math.inf if permanent else rng.uniform(1_000.0, max_duration_ns)
+        ),
+    )
+
+
+def _blackout_ns(spec: FaultSpec) -> float:
+    """Reservation length realizing the spec's blackout window."""
+    if spec.permanent:
+        return STALL_HORIZON_NS - spec.start_ns
+    return spec.duration_ns
+
+
+def inject(accel: Accelerator, spec: FaultSpec) -> FaultHandle:
+    """Apply one fault to an instantiated accelerator.
+
+    Call before :meth:`~repro.runtime.engine.RuntimeEngine.run`; the
+    blackout is a reservation on the victim's ledger, so the accelerator
+    instance is consumed by the faulty run (build a fresh one per
+    experiment — they are cheap).
+    """
+    if spec.kind == "mem-stall":
+        return _stall_memory_channel(accel, spec)
+    if spec.kind == "noc-drop":
+        return _wedge_noc_links(accel, spec)
+    return _freeze_gpe(accel, spec)
+
+
+def _stall_memory_channel(accel: Accelerator, spec: FaultSpec) -> FaultHandle:
+    """Stall one memory node's DRAM channel for the blackout window.
+
+    Requests accepted during (or FIFO-behind) the window complete only
+    after it ends; a permanent stall pushes every completion out to the
+    horizon, which the engine diagnoses as ``mem(x, y): channel reserved
+    until ...``.
+    """
+    controller = accel.memories[spec.target % len(accel.memories)]
+    controller.channel.occupy(spec.start_ns, _blackout_ns(spec))
+    controller.stats.add("injected_faults")
+    return FaultHandle(spec=spec, module=controller.name)
+
+
+def _wedge_noc_links(accel: Accelerator, spec: FaultSpec) -> FaultHandle:
+    """Wedge every directed link out of one router.
+
+    Models a router that stops forwarding flits: packets routed through
+    it queue behind the blackout (wormhole head-of-line blocking), so a
+    permanent wedge drops all traffic through the node and a finite one
+    delays it.  The victim node is drawn from the tile coordinates —
+    request and response paths both cross its links.
+    """
+    mesh = accel.noc.mesh
+    coords = accel.config.tile_coords
+    node = coords[spec.target % len(coords)]
+    blackout = _blackout_ns(spec)
+    for neighbor in mesh.neighbors(node):
+        accel.noc.reserve_link(node, neighbor, spec.start_ns, blackout)
+        accel.noc.reserve_link(neighbor, node, spec.start_ns, blackout)
+    accel.noc.stats.add("injected_faults")
+    return FaultHandle(spec=spec, module=f"noc router {node}")
+
+
+def _freeze_gpe(accel: Accelerator, spec: FaultSpec) -> FaultHandle:
+    """Freeze one tile's GPE issue port for the blackout window.
+
+    Every runtime action on the tile (control, traversal sequencing,
+    allocation-bus transactions) stalls behind the frozen core; a
+    permanent freeze strands the tile's vertex programs at the horizon.
+    """
+    tile = accel.tiles[spec.target % len(accel.tiles)]
+    tile.gpe.core.occupy(spec.start_ns, _blackout_ns(spec))
+    tile.gpe.stats.add("injected_faults")
+    return FaultHandle(spec=spec, module=tile.gpe.name)
+
+
+def stall_memory_channel(
+    accel: Accelerator,
+    channel: int = 0,
+    start_ns: float = 0.0,
+    duration_ns: float = math.inf,
+) -> FaultHandle:
+    """Convenience wrapper: stall memory node ``channel``."""
+    return inject(
+        accel,
+        FaultSpec("mem-stall", channel, start_ns, duration_ns),
+    )
+
+
+def drop_noc_flits(
+    accel: Accelerator,
+    router: int = 0,
+    start_ns: float = 0.0,
+    duration_ns: float = math.inf,
+) -> FaultHandle:
+    """Convenience wrapper: drop (inf) or delay (finite) flits at a router."""
+    return inject(
+        accel,
+        FaultSpec("noc-drop", router, start_ns, duration_ns),
+    )
+
+
+def freeze_gpe(
+    accel: Accelerator,
+    tile: int = 0,
+    start_ns: float = 0.0,
+    duration_ns: float = math.inf,
+) -> FaultHandle:
+    """Convenience wrapper: freeze tile ``tile``'s GPE."""
+    return inject(
+        accel,
+        FaultSpec("gpe-freeze", tile, start_ns, duration_ns),
+    )

@@ -64,6 +64,11 @@ class GraphPE(Module):
     def free_threads(self) -> int:
         return self._free_threads
 
+    @property
+    def waiting_threads(self) -> int:
+        """Vertex programs queued for a software thread (diagnostics)."""
+        return len(self._thread_waitlist)
+
     def acquire_thread(self, on_grant: Callable[[], None]) -> None:
         """Claim a software thread; grants FIFO when one is free."""
         if self._free_threads > 0:

@@ -145,11 +145,44 @@ def _cmd_energy(_args) -> None:
     ))
 
 
-def _cmd_sweep(args) -> None:
+def _validate_sweep_args(args) -> str | None:
+    """One-line error for an unknown benchmark/config name, else None.
+
+    Runs before any point is built or any worker spawned, so a typo
+    fails in milliseconds with the valid names instead of after a pool
+    spin-up.
+    """
+    from repro.accel.config import CONFIGURATIONS
+    from repro.models import BENCHMARKS
+
+    valid_benchmarks = tuple(b.key for b in BENCHMARKS)
+    unknown = [b for b in args.benchmarks if b not in valid_benchmarks]
+    if unknown:
+        return (f"unknown benchmark(s) {', '.join(unknown)}; "
+                f"valid: {' '.join(valid_benchmarks)}")
+    valid_configs = tuple(c.name for c in CONFIGURATIONS)
+    unknown = [c for c in args.configs if c not in valid_configs]
+    if unknown:
+        return (f"unknown config(s) {', '.join(unknown)}; "
+                f"valid: {', '.join(valid_configs)}")
+    return None
+
+
+def _cmd_sweep(args) -> int:
     import time
 
     from repro.exp.cache import ResultCache
-    from repro.exp.runner import default_jobs, figure8_points, run_sweep
+    from repro.exp.runner import (
+        RetryPolicy,
+        default_jobs,
+        figure8_points,
+        run_sweep_detailed,
+    )
+
+    error = _validate_sweep_args(args)
+    if error is not None:
+        print(f"repro sweep: {error}", file=sys.stderr)
+        return 2
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     points = figure8_points(
@@ -158,6 +191,9 @@ def _cmd_sweep(args) -> None:
         configs=tuple(args.configs) or None,
     )
     jobs = args.jobs if args.jobs is not None else default_jobs()
+    policy = RetryPolicy.from_env(
+        timeout_s=args.timeout, retries=args.retries
+    )
     hits = 0
 
     def progress(point, report, was_cached) -> None:
@@ -170,13 +206,17 @@ def _cmd_sweep(args) -> None:
               f"{report.latency_ms:10.3f} ms")
 
     start = time.perf_counter()
-    reports = run_sweep(points, jobs=jobs, cache=cache, progress=progress)
+    outcome = run_sweep_detailed(
+        points, jobs=jobs, cache=cache, progress=progress, policy=policy
+    )
     elapsed = time.perf_counter() - start
     rows = [
         (p.resolved_config.name, p.benchmark_key,
-         p.resolved_config.clock_ghz, r.latency_ms,
-         f"{r.bandwidth_utilization:.0%}", f"{r.dna_utilization:.0%}")
-        for p, r in zip(points, reports)
+         p.resolved_config.clock_ghz,
+         r.latency_ms if r is not None else "FAILED",
+         f"{r.bandwidth_utilization:.0%}" if r is not None else "-",
+         f"{r.dna_utilization:.0%}" if r is not None else "-")
+        for p, r in zip(points, outcome.reports)
     ]
     print(format_table(
         ["Config", "Benchmark", "Clock (GHz)", "Latency (ms)", "BW util",
@@ -186,6 +226,13 @@ def _cmd_sweep(args) -> None:
     simulated = len({p.key for p in points}) - hits
     print(f"{len(points)} points ({hits} cached, {simulated} simulated) "
           f"in {elapsed:.2f} s with {jobs} job(s)")
+    if not outcome.ok:
+        print(f"repro sweep: {len(outcome.failures)} point(s) failed:",
+              file=sys.stderr)
+        for result in outcome.failures:
+            print(f"  {result.describe()}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_simulate(args) -> None:
@@ -256,6 +303,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="skip the persistent result cache entirely",
     )
+    sweep.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-point wall-clock budget in seconds "
+             "(default: $REPRO_SWEEP_TIMEOUT or unlimited)",
+    )
+    sweep.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts after a worker crash "
+             "(default: $REPRO_SWEEP_RETRIES or 2)",
+    )
     return parser
 
 
@@ -276,8 +333,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command in ("table1", "table3", "table4", "table5", "table6"):
         _cmd_config_table(args.command)
         return 0
-    handlers[args.command](args)
-    return 0
+    code = handlers[args.command](args)
+    return 0 if code is None else code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

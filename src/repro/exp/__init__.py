@@ -24,7 +24,24 @@ from repro.exp.cache import (
     point_key,
     set_default_cache,
 )
-from repro.exp.runner import Point, figure8_points, run_sweep, simulate_point
+from repro.exp.errors import (
+    PointCrash,
+    PointError,
+    PointTimeout,
+    SimulationDiverged,
+    SweepError,
+    SweepFailed,
+)
+from repro.exp.runner import (
+    Point,
+    PointResult,
+    RetryPolicy,
+    SweepOutcome,
+    figure8_points,
+    run_sweep,
+    run_sweep_detailed,
+    simulate_point,
+)
 
 __all__ = [
     "DEFAULT_CACHE",
@@ -34,7 +51,17 @@ __all__ = [
     "point_key",
     "set_default_cache",
     "Point",
+    "PointResult",
+    "RetryPolicy",
+    "SweepOutcome",
     "figure8_points",
     "run_sweep",
+    "run_sweep_detailed",
     "simulate_point",
+    "SweepError",
+    "SweepFailed",
+    "PointError",
+    "PointTimeout",
+    "PointCrash",
+    "SimulationDiverged",
 ]

@@ -56,8 +56,15 @@ DEFAULT_CACHE = object()
 
 
 def config_fingerprint(config: AcceleratorConfig) -> dict[str, Any]:
-    """Every field of a configuration as canonical plain data."""
-    return dataclasses.asdict(config)
+    """Every *result-affecting* field of a configuration as plain data.
+
+    The ``watchdog`` budgets are excluded: they bound whether a run
+    terminates, never what a completed run reports, so two sweeps that
+    differ only in their timeout budgets share cache entries.
+    """
+    data = dataclasses.asdict(config)
+    data.pop("watchdog", None)
+    return data
 
 
 def point_key(benchmark_key: str, config: AcceleratorConfig) -> str:

@@ -1,0 +1,91 @@
+"""Structured error taxonomy for the sweep execution layer.
+
+Every way an operating point can fail maps to one exception class, so
+callers (and ``python -m repro sweep``'s exit-code logic) can branch on
+type instead of parsing messages:
+
+* :class:`PointTimeout` — the point exceeded its wall-clock budget (the
+  parent killed the worker, or the in-process wall watchdog tripped);
+* :class:`PointCrash` — the worker process died or raised a transient
+  infrastructure error; retried with backoff up to the policy's limit;
+* :class:`SimulationDiverged` — the simulation itself failed
+  deterministically (watchdog trip, deadlock, invalid program); never
+  retried, because a bit-deterministic simulator fails the same way
+  every time.
+
+:class:`SweepFailed` aggregates: it is what the strict
+:func:`~repro.exp.runner.run_sweep` raises when any point in a sweep
+ends in failure, carrying the full per-point outcome.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.exp.runner import SweepOutcome
+
+
+class SweepError(RuntimeError):
+    """Base class for every sweep-layer failure."""
+
+
+class PointError(SweepError):
+    """One operating point failed; knows which point and how often it ran."""
+
+    #: Machine-readable status tag, mirrored in ``PointResult.status``.
+    status = "error"
+    #: Whether the retry policy may re-attempt this failure class.
+    retryable = False
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        benchmark: str = "",
+        config_name: str = "",
+        clock_ghz: float | None = None,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.benchmark = benchmark
+        self.config_name = config_name
+        self.clock_ghz = clock_ghz
+        self.attempts = attempts
+
+
+class PointTimeout(PointError):
+    """The point exceeded its per-point wall-clock budget."""
+
+    status = "timeout"
+    retryable = False
+
+
+class PointCrash(PointError):
+    """The worker died (killed, OOM, broken pool) — a transient failure."""
+
+    status = "crash"
+    retryable = True
+
+
+class SimulationDiverged(PointError):
+    """The simulation failed deterministically (watchdog trip, deadlock)."""
+
+    status = "diverged"
+    retryable = False
+
+
+#: status tag -> exception class, for rebuilding typed errors from the
+#: plain data a worker process hands back.
+STATUS_ERRORS: dict[str, type[PointError]] = {
+    cls.status: cls
+    for cls in (PointError, PointTimeout, PointCrash, SimulationDiverged)
+}
+
+
+class SweepFailed(SweepError):
+    """At least one point of a sweep failed; carries the full outcome."""
+
+    def __init__(self, outcome: "SweepOutcome") -> None:
+        super().__init__(outcome.summary())
+        self.outcome = outcome

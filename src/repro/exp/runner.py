@@ -1,4 +1,4 @@
-"""Parallel sweep execution over the persistent result cache.
+"""Fault-tolerant parallel sweep execution over the persistent result cache.
 
 :func:`run_sweep` takes a list of :class:`Point`s — (benchmark, config,
 clock) operating points — answers as many as it can from the caching
@@ -9,17 +9,41 @@ parallel path returns results identical to the serial one
 (``tests/exp/test_determinism.py`` asserts this field by field); workers
 hand reports back through :mod:`repro.runtime.serialize`, the same
 representation the persistent store uses.
+
+The executor is *resilient* (``tests/exp/test_resilience.py``):
+
+* every point runs under a :class:`RetryPolicy` — a per-point wall-clock
+  budget, bounded retries with exponential backoff for transient worker
+  failures, and crash isolation (a killed worker fails or retries *its*
+  point; every other point still completes);
+* a pool that cannot start degrades gracefully to serial execution;
+* :func:`run_sweep_detailed` returns a :class:`SweepOutcome` carrying
+  per-point status (ok / cached / timeout / crash / diverged) and the
+  structured error taxonomy of :mod:`repro.exp.errors`, while the strict
+  :func:`run_sweep` raises :class:`~repro.exp.errors.SweepFailed` if any
+  point ends in failure.
 """
 
 from __future__ import annotations
 
+import contextlib
+import dataclasses
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+import time
+import warnings
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.accel.config import AcceleratorConfig
 from repro.exp.cache import DEFAULT_CACHE, lookup, point_key, store
+from repro.exp.errors import STATUS_ERRORS, PointError, SweepFailed
 from repro.runtime.report import SimulationReport
 from repro.runtime.serialize import report_from_dict, report_to_dict
 
@@ -32,6 +56,11 @@ FIGURE8_GROUPS: tuple[tuple[str, str], ...] = (
 
 #: Tile clocks swept in Figure 8 (GHz).
 FIGURE8_CLOCKS: tuple[float, ...] = (1.2, 2.4)
+
+#: Environment overrides for the default retry policy.
+TIMEOUT_ENV = "REPRO_SWEEP_TIMEOUT"
+RETRIES_ENV = "REPRO_SWEEP_RETRIES"
+BACKOFF_ENV = "REPRO_SWEEP_BACKOFF"
 
 
 @dataclass(frozen=True)
@@ -58,15 +87,216 @@ class Point:
         """Content-hash cache key (see :func:`repro.exp.cache.point_key`)."""
         return point_key(self.benchmark_key, self.resolved_config)
 
+    def describe(self) -> str:
+        config = self.resolved_config
+        return f"{self.benchmark_key} on {config.name} @{config.clock_ghz:g} GHz"
 
-def simulate_point(point: Point) -> SimulationReport:
-    """Compile (memoized per process) and simulate one point."""
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard the sweep runner tries before declaring a point failed.
+
+    ``timeout_s`` is the per-point wall-clock budget: in worker processes
+    it is enforced twice — an in-process wall watchdog (clean trip with a
+    diagnosis) backed by a parent-side deadline that kills the pool if
+    the worker stops responding entirely.  ``retries`` bounds *extra*
+    attempts after a transient failure (a crashed worker); deterministic
+    simulation failures are never retried.
+    """
+
+    timeout_s: float | None = None
+    retries: int = 2
+    backoff_s: float = 0.5
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive or None")
+        if self.retries < 0:
+            raise ValueError("retries cannot be negative")
+        if self.backoff_s < 0 or self.backoff_factor < 1.0:
+            raise ValueError("invalid backoff configuration")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before retry number ``attempt`` (1-based), exponential."""
+        return self.backoff_s * self.backoff_factor ** max(0, attempt - 1)
+
+    @property
+    def deadline_s(self) -> float | None:
+        """Parent-side kill deadline: the budget plus a grace period."""
+        if self.timeout_s is None:
+            return None
+        return self.timeout_s + max(1.0, 0.5 * self.timeout_s)
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "RetryPolicy":
+        """Policy from ``REPRO_SWEEP_*`` variables, keywords winning."""
+        values: dict[str, Any] = {}
+        timeout = os.environ.get(TIMEOUT_ENV)
+        if timeout:
+            values["timeout_s"] = float(timeout)
+        retries = os.environ.get(RETRIES_ENV)
+        if retries:
+            values["retries"] = int(retries)
+        backoff = os.environ.get(BACKOFF_ENV)
+        if backoff:
+            values["backoff_s"] = float(backoff)
+        values.update(
+            {k: v for k, v in overrides.items() if v is not None}
+        )
+        return cls(**values)
+
+
+@dataclass
+class PointResult:
+    """Final status of one operating point after all attempts."""
+
+    point: Point
+    status: str  # "ok" | "cached" | "timeout" | "crash" | "diverged" | "error"
+    report: SimulationReport | None = None
+    attempts: int = 0
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+    def to_error(self) -> PointError:
+        """The typed exception equivalent of a failed result."""
+        cls = STATUS_ERRORS.get(self.status, PointError)
+        config = self.point.resolved_config
+        return cls(
+            f"{self.point.describe()}: {self.error or self.status} "
+            f"(after {self.attempts} attempt(s))",
+            benchmark=self.point.benchmark_key,
+            config_name=config.name,
+            clock_ghz=config.clock_ghz,
+            attempts=self.attempts,
+        )
+
+    def describe(self) -> str:
+        if self.ok:
+            return f"{self.point.describe()}: {self.status}"
+        return (
+            f"{self.point.describe()}: {self.status.upper()} after "
+            f"{self.attempts} attempt(s) — {self.error or 'no detail'}"
+        )
+
+
+@dataclass
+class SweepOutcome:
+    """Per-point results of one sweep, in input order.
+
+    Duplicate input points share one :class:`PointResult`;
+    :attr:`failures` deduplicates, so a summary counts each distinct
+    operating point once.
+    """
+
+    results: list[PointResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(result.ok for result in self.results)
+
+    @property
+    def reports(self) -> list[SimulationReport | None]:
+        """One report per input point (None where the point failed)."""
+        return [result.report for result in self.results]
+
+    @property
+    def failures(self) -> list[PointResult]:
+        """Distinct failed points, first-seen order."""
+        seen: set[str] = set()
+        failed = []
+        for result in self.results:
+            key = result.point.key
+            if not result.ok and key not in seen:
+                seen.add(key)
+                failed.append(result)
+        return failed
+
+    def summary(self) -> str:
+        distinct: dict[str, PointResult] = {}
+        for result in self.results:
+            distinct.setdefault(result.point.key, result)
+        cached = sum(1 for r in distinct.values() if r.status == "cached")
+        succeeded = sum(1 for r in distinct.values() if r.ok)
+        failures = self.failures
+        head = (
+            f"{len(self.results)} points ({len(distinct)} distinct): "
+            f"{succeeded} ok ({cached} cached), {len(failures)} failed"
+        )
+        if not failures:
+            return head
+        lines = [head] + [f"  {result.describe()}" for result in failures]
+        return "\n".join(lines)
+
+    def raise_on_failure(self) -> None:
+        if not self.ok:
+            raise SweepFailed(self)
+
+
+def _config_with_wall_budget(
+    config: AcceleratorConfig, timeout_s: float | None
+) -> AcceleratorConfig:
+    """Tighten the config's wall-clock watchdog to the sweep budget.
+
+    The watchdog field is excluded from the cache fingerprint, so the
+    tightened config still stores under the original point key.
+    """
+    if timeout_s is None:
+        return config
+    current = config.watchdog.max_wall_s
+    budget = timeout_s if current is None else min(current, timeout_s)
+    return dataclasses.replace(
+        config,
+        watchdog=dataclasses.replace(config.watchdog, max_wall_s=budget),
+    )
+
+
+def simulate_point(
+    point: Point, config: AcceleratorConfig | None = None
+) -> SimulationReport:
+    """Compile (memoized per process) and simulate one point.
+
+    ``config`` overrides the point's resolved configuration — used to
+    apply execution budgets without changing the cache identity.
+    """
     from repro.eval.accelerator import _compiled_program
     from repro.runtime.engine import simulate
 
     return simulate(
-        _compiled_program(point.benchmark_key), point.resolved_config
+        _compiled_program(point.benchmark_key),
+        config if config is not None else point.resolved_config,
     )
+
+
+def _classify_failure(exc: BaseException) -> tuple[str, str]:
+    """Map an attempt's exception to a ``(status, message)`` pair."""
+    from repro.runtime.engine import SimulationFailure
+    from repro.sim.kernel import SimulationError
+
+    if isinstance(exc, SimulationFailure):
+        diagnosis = exc.diagnosis
+        if diagnosis is not None and diagnosis.reason == "max_wall":
+            return "timeout", str(exc)
+        return "diverged", str(exc)
+    if isinstance(exc, SimulationError):
+        return "diverged", str(exc)
+    return "error", f"{type(exc).__name__}: {exc}"
+
+
+def _attempt_inline(point: Point, policy: RetryPolicy) -> PointResult:
+    """One in-process attempt, classified instead of propagated."""
+    try:
+        config = _config_with_wall_budget(
+            point.resolved_config, policy.timeout_s
+        )
+        report = simulate_point(point, config)
+    except Exception as exc:
+        status, message = _classify_failure(exc)
+        return PointResult(point, status, attempts=1, error=message)
+    return PointResult(point, "ok", report, attempts=1)
 
 
 def _worker(point: Point) -> dict[str, Any]:
@@ -80,6 +310,24 @@ def _worker(point: Point) -> dict[str, Any]:
     return report_to_dict(simulate_point(point))
 
 
+def _resilient_worker(
+    point: Point, timeout_s: float | None
+) -> dict[str, Any]:
+    """Pool worker that classifies failures instead of raising them.
+
+    Returning plain data sidesteps exception pickling entirely; only a
+    dead process (crash, kill, OOM) surfaces as a future exception in
+    the parent.
+    """
+    try:
+        config = _config_with_wall_budget(point.resolved_config, timeout_s)
+        report = simulate_point(point, config)
+    except Exception as exc:
+        status, message = _classify_failure(exc)
+        return {"ok": False, "status": status, "error": message}
+    return {"ok": True, "report": report_to_dict(report)}
+
+
 def default_jobs() -> int:
     """Worker count when the caller does not choose one."""
     return max(1, os.cpu_count() or 1)
@@ -90,6 +338,7 @@ def run_sweep(
     jobs: int = 1,
     cache: object = DEFAULT_CACHE,
     progress: Callable[[Point, SimulationReport, bool], None] | None = None,
+    policy: RetryPolicy | None = None,
 ) -> list[SimulationReport]:
     """Simulate every point, cached and (optionally) in parallel.
 
@@ -98,44 +347,97 @@ def run_sweep(
     ``jobs > 1`` distributes cache misses over a process pool.
     ``progress``, when given, is called as each point completes with
     ``(point, report, was_cached)``.
+
+    This is the strict entry point: if any point ends in failure after
+    the retry policy is exhausted it raises
+    :class:`~repro.exp.errors.SweepFailed` (carrying the full
+    :class:`SweepOutcome`); use :func:`run_sweep_detailed` to receive
+    per-point statuses instead.
     """
+    outcome = run_sweep_detailed(
+        points, jobs=jobs, cache=cache, progress=progress, policy=policy
+    )
+    outcome.raise_on_failure()
+    return [result.report for result in outcome.results]
+
+
+def run_sweep_detailed(
+    points: Iterable[Point],
+    jobs: int = 1,
+    cache: object = DEFAULT_CACHE,
+    progress: Callable[[Point, SimulationReport, bool], None] | None = None,
+    policy: RetryPolicy | None = None,
+) -> SweepOutcome:
+    """Like :func:`run_sweep`, returning per-point statuses, never raising
+    for point-level failures."""
+    policy = policy if policy is not None else RetryPolicy.from_env()
     points = list(points)
     keys = [p.key for p in points]
-    results: dict[str, SimulationReport] = {}
+    by_key: dict[str, PointResult] = {}
     missing: list[Point] = []
+    seen_missing: set[str] = set()
     for point, key in zip(points, keys):
-        if key in results:
+        if key in by_key or key in seen_missing:
             continue
         hit = lookup(key, cache)
         if hit is not None:
-            results[key] = hit
+            by_key[key] = PointResult(point, "cached", hit)
             if progress is not None:
                 progress(point, hit, True)
-        elif all(m.key != key for m in missing):
+        else:
+            seen_missing.add(key)
             missing.append(point)
+
+    def finalize(result: PointResult) -> None:
+        by_key[result.point.key] = result
+        if result.ok:
+            store(result.point.key, result.report, cache)
+            if progress is not None:
+                progress(result.point, result.report, False)
 
     if missing:
         if jobs <= 1 or len(missing) == 1:
             for point in missing:
-                report = simulate_point(point)
-                store(point.key, report, cache)
-                results[point.key] = report
-                if progress is not None:
-                    progress(point, report, False)
+                finalize(_attempt_inline(point, policy))
         else:
-            _run_parallel(missing, jobs, cache, results, progress)
+            _run_parallel(missing, jobs, finalize, policy)
 
-    return [results[key] for key in keys]
+    return SweepOutcome([by_key[key] for key in keys])
+
+
+@dataclass
+class _Pending:
+    """Scheduling state of one not-yet-final point."""
+
+    point: Point
+    attempts: int = 0
+    eligible_at: float = 0.0
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Forcibly stop a pool whose workers must not be waited on."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        with contextlib.suppress(Exception):
+            process.terminate()
+    with contextlib.suppress(Exception):
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 def _run_parallel(
     missing: Sequence[Point],
     jobs: int,
-    cache: object,
-    results: dict[str, SimulationReport],
-    progress: Callable[[Point, SimulationReport, bool], None] | None,
+    finalize: Callable[[PointResult], None],
+    policy: RetryPolicy,
 ) -> None:
-    """Fan points out to worker processes; parent persists the results."""
+    """Fan points out to worker processes; parent persists the results.
+
+    The scheduling loop survives worker crashes (the pool is rebuilt and
+    in-flight points resubmitted — the errored ones with an attempt
+    charged, the collateral ones without), enforces per-point deadlines
+    by killing the pool, and falls back to serial execution when a pool
+    cannot be created at all.
+    """
     # Compile each distinct benchmark once in the parent before the pool
     # starts: fork-based workers inherit the warm program memo instead of
     # all re-compiling (and re-generating datasets) independently.
@@ -145,17 +447,175 @@ def _run_parallel(
         _compiled_program(benchmark_key)
 
     workers = min(jobs, len(missing))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {pool.submit(_worker, point): point for point in missing}
-        while pending:
-            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+    queue: deque[_Pending] = deque(_Pending(point) for point in missing)
+    inflight: dict[Future, tuple[_Pending, float | None]] = {}
+    pool: ProcessPoolExecutor | None = None
+
+    def run_serially(pending_points: Iterable[_Pending]) -> None:
+        for pending in pending_points:
+            result = _attempt_inline(pending.point, policy)
+            result.attempts += pending.attempts
+            finalize(result)
+
+    def abandon_pool() -> None:
+        nonlocal pool
+        if pool is not None:
+            _kill_pool(pool)
+            pool = None
+
+    def requeue(pending: _Pending, charged: bool, now: float) -> None:
+        """Schedule another attempt, or finalize a crash when exhausted."""
+        if not charged:
+            pending.attempts = max(0, pending.attempts - 1)
+            pending.eligible_at = now
+            queue.append(pending)
+            return
+        if pending.attempts <= policy.retries:
+            pending.eligible_at = now + policy.backoff(pending.attempts)
+            queue.append(pending)
+        else:
+            finalize(
+                PointResult(
+                    pending.point,
+                    "crash",
+                    attempts=pending.attempts,
+                    error="worker process died "
+                          f"(retry budget of {policy.retries} exhausted)",
+                )
+            )
+
+    try:
+        while queue or inflight:
+            now = time.monotonic()
+            if pool is None and queue:
+                try:
+                    pool = ProcessPoolExecutor(max_workers=workers)
+                except Exception as exc:
+                    warnings.warn(
+                        f"worker pool unavailable ({exc}); "
+                        f"degrading sweep to serial execution",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    run_serially(queue)
+                    queue.clear()
+                    break
+
+            # Submit every eligible point.
+            deferred: list[_Pending] = []
+            while queue:
+                pending = queue.popleft()
+                if pending.eligible_at > now:
+                    deferred.append(pending)
+                    continue
+                pending.attempts += 1
+                try:
+                    future = pool.submit(
+                        _resilient_worker, pending.point, policy.timeout_s
+                    )
+                except Exception as exc:
+                    if inflight or pending.attempts <= policy.retries + 1:
+                        # Pool refused the job; rebuild it and retry the
+                        # submission without charging the point.
+                        requeue(pending, charged=False, now=now)
+                        abandon_pool()
+                        break
+                    warnings.warn(
+                        f"worker pool cannot accept jobs ({exc}); "
+                        f"degrading sweep to serial execution",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    pending.attempts -= 1
+                    deferred.append(pending)
+                    run_serially(deferred + list(queue))
+                    deferred.clear()
+                    queue.clear()
+                    break
+                deadline = (
+                    None if policy.deadline_s is None
+                    else now + policy.deadline_s
+                )
+                inflight[future] = (pending, deadline)
+            queue.extend(deferred)
+
+            if not inflight:
+                if queue:
+                    # Everything left is backing off; sleep to eligibility.
+                    wake = min(p.eligible_at for p in queue)
+                    time.sleep(max(0.0, min(wake - time.monotonic(), 5.0)))
+                continue
+
+            # Wait for a completion, the nearest deadline, or the nearest
+            # backoff expiry, whichever comes first.
+            horizons = [d for _, d in inflight.values() if d is not None]
+            horizons += [p.eligible_at for p in queue]
+            wait_s = None
+            if horizons:
+                wait_s = max(0.05, min(horizons) - time.monotonic())
+            done, _ = wait(inflight, timeout=wait_s,
+                           return_when=FIRST_COMPLETED)
+
+            now = time.monotonic()
+            pool_broken = False
             for future in done:
-                point = pending.pop(future)
-                report = report_from_dict(future.result())
-                store(point.key, report, cache)
-                results[point.key] = report
-                if progress is not None:
-                    progress(point, report, False)
+                pending, _deadline = inflight.pop(future)
+                error = future.exception()
+                if error is None:
+                    payload = future.result()
+                    if payload["ok"]:
+                        finalize(
+                            PointResult(
+                                pending.point,
+                                "ok",
+                                report_from_dict(payload["report"]),
+                                attempts=pending.attempts,
+                            )
+                        )
+                    else:
+                        finalize(
+                            PointResult(
+                                pending.point,
+                                payload["status"],
+                                attempts=pending.attempts,
+                                error=payload["error"],
+                            )
+                        )
+                else:
+                    # The worker process died before returning: transient.
+                    pool_broken = True
+                    requeue(pending, charged=True, now=now)
+
+            # Deadline sweep: kill the pool out from under any point that
+            # exceeded its wall budget; other in-flight points resubmit
+            # at no charge.
+            expired = [
+                (future, pending)
+                for future, (pending, deadline) in inflight.items()
+                if deadline is not None and deadline <= now
+            ]
+            if expired:
+                for future, pending in expired:
+                    del inflight[future]
+                    finalize(
+                        PointResult(
+                            pending.point,
+                            "timeout",
+                            attempts=pending.attempts,
+                            error=f"exceeded the {policy.timeout_s:g} s "
+                                  f"wall-clock budget (worker killed)",
+                        )
+                    )
+                pool_broken = True
+
+            if pool_broken:
+                for future, (pending, _deadline) in list(inflight.items()):
+                    requeue(pending, charged=False, now=now)
+                inflight.clear()
+                abandon_pool()
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
 
 
 def figure8_points(

@@ -84,6 +84,33 @@ class PacketNetwork:
         """Number of directed links that carried at least one packet."""
         return len(self._links)
 
+    def reserve_link(
+        self, src: Coord, dst: Coord, start_ns: float, duration_ns: float
+    ) -> None:
+        """Occupy one directed link for a blackout interval.
+
+        Fault-injection hook: packets routed over the link after the
+        reservation queue behind it (FIFO), exactly as if the router were
+        wedged for ``duration_ns``.
+        """
+        self.mesh.validate_node(src)
+        self.mesh.validate_node(dst)
+        self._link(src, dst).occupy(start_ns, duration_ns)
+
+    def stalled_links(
+        self, now_ns: float, horizon_ns: float
+    ) -> list[tuple[tuple[Coord, Coord], float]]:
+        """Directed links reserved further than ``horizon_ns`` past ``now_ns``.
+
+        A link busy that far into the future is wedged, not contended —
+        used by watchdog diagnoses to name the stuck component.
+        """
+        return [
+            (link, tracker.busy_until)
+            for link, tracker in self._links.items()
+            if tracker.busy_until > now_ns + horizon_ns
+        ]
+
     def link_utilization(self, elapsed_ns: float) -> dict[tuple[Coord, Coord], float]:
         """Busy fraction of every used link over ``elapsed_ns``."""
         return {

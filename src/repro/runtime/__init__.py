@@ -18,7 +18,13 @@ from repro.runtime.program import (
     VertexTask,
 )
 from repro.runtime.compiler import compile_model
-from repro.runtime.engine import RuntimeEngine, simulate, simulate_detailed
+from repro.runtime.engine import (
+    DeadlockError,
+    RuntimeEngine,
+    SimulationFailure,
+    simulate,
+    simulate_detailed,
+)
 from repro.runtime.report import LayerReport, SimulationReport
 from repro.runtime.trace import TraceEvent, Tracer
 from repro.runtime.validate import (
@@ -34,6 +40,8 @@ __all__ = [
     "AcceleratorProgram",
     "compile_model",
     "RuntimeEngine",
+    "SimulationFailure",
+    "DeadlockError",
     "simulate",
     "simulate_detailed",
     "LayerReport",

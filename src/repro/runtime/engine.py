@@ -27,10 +27,50 @@ from repro.runtime.program import AcceleratorProgram, LayerProgram, VertexTask
 from repro.runtime.report import LayerReport, SimulationReport
 from repro.runtime.trace import Tracer
 from repro.runtime.validate import assert_valid
+from repro.sim.kernel import SimulationError
+from repro.sim.watchdog import WatchdogDiagnosis, WatchdogTrip
 
 #: Fixed cost of the inter-layer barrier and reconfiguration, in GPE
 #: cycles: a configuration broadcast plus a synchronization round trip.
 BARRIER_CYCLES = 200
+
+#: A hardware resource reserved further than this past the current time is
+#: considered wedged rather than contended (no healthy run reserves a unit
+#: more than ~1000 s of simulated time ahead).
+STUCK_HORIZON_NS = 1e12
+
+
+class SimulationFailure(SimulationError):
+    """A run that terminated without producing a report.
+
+    Structured counterpart of a watchdog trip or deadlock: carries the
+    benchmark and configuration, the layer that was executing, how many
+    tasks never finished, the suspected stuck modules, and (for watchdog
+    trips) the kernel-level :class:`~repro.sim.watchdog.WatchdogDiagnosis`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        benchmark: str = "",
+        config_name: str = "",
+        layer: str = "",
+        tasks_remaining: int = 0,
+        suspects: tuple[str, ...] = (),
+        diagnosis: WatchdogDiagnosis | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.benchmark = benchmark
+        self.config_name = config_name
+        self.layer = layer
+        self.tasks_remaining = tasks_remaining
+        self.suspects = suspects
+        self.diagnosis = diagnosis
+
+
+class DeadlockError(SimulationFailure):
+    """The event queue drained with vertex tasks still unfinished."""
 
 
 class RuntimeEngine:
@@ -44,6 +84,7 @@ class RuntimeEngine:
         self.tracer = tracer
         self._layer_end = 0.0
         self._tasks_remaining = 0
+        self._program_name = ""
 
     def _trace(self, layer, task, phase: str, tile, t: float) -> None:
         if self.tracer is not None:
@@ -53,8 +94,15 @@ class RuntimeEngine:
     # -- top level ----------------------------------------------------------
 
     def run(self, program: AcceleratorProgram) -> SimulationReport:
-        """Execute all layers with barriers; returns the report."""
+        """Execute all layers with barriers; returns the report.
+
+        Raises :class:`SimulationFailure` (a :class:`DeadlockError` or a
+        converted watchdog trip) when the program cannot complete within
+        the configuration's :class:`~repro.sim.watchdog.WatchdogConfig`
+        budgets; the exception names the suspected stuck modules.
+        """
         assert_valid(program, self.accel.config.tile)
+        self._program_name = program.name
         reports: list[LayerReport] = []
         clock_start = 0.0
         barrier_ns = self.accel.clock.cycles_to_ns(BARRIER_CYCLES)
@@ -88,13 +136,98 @@ class RuntimeEngine:
                 task,
                 layer,
             )
-        self.sim.run()
+        watchdog = self.accel.config.watchdog.build()
+        try:
+            self.sim.run(watchdog=watchdog)
+        except WatchdogTrip as trip:
+            raise self._failure(
+                f"layer {layer.name!r} exceeded its watchdog budget "
+                f"({trip.diagnosis.reason})",
+                layer,
+                diagnosis=trip.diagnosis,
+            ) from trip
         if self._tasks_remaining != 0:
-            raise RuntimeError(
+            raise self._failure(
                 f"layer {layer.name!r} deadlocked with "
-                f"{self._tasks_remaining} tasks unfinished"
+                f"{self._tasks_remaining} tasks unfinished",
+                layer,
+                kind=DeadlockError,
             )
         return self._layer_end
+
+    # -- failure diagnosis ------------------------------------------------------
+
+    def _failure(
+        self,
+        message: str,
+        layer: LayerProgram,
+        diagnosis: WatchdogDiagnosis | None = None,
+        kind: type[SimulationFailure] = SimulationFailure,
+    ) -> SimulationFailure:
+        suspects = tuple(self._suspects())
+        detail = "; ".join(suspects) if suspects else "no suspect module"
+        text = f"{message} [suspects: {detail}]"
+        if diagnosis is not None:
+            text = f"{text} [{diagnosis.format()}]"
+        return kind(
+            text,
+            benchmark=self._program_name,
+            config_name=self.accel.config.name,
+            layer=layer.name,
+            tasks_remaining=self._tasks_remaining,
+            suspects=suspects,
+            diagnosis=diagnosis,
+        )
+
+    def _suspects(self) -> list[str]:
+        """Name the modules most likely responsible for a stuck run.
+
+        Two complementary probes: hardware resources reserved absurdly
+        far into the future (a stalled channel, a frozen core, a wedged
+        link) and units with non-empty wait queues that can no longer
+        drain (the signature of a dropped grant).
+        """
+        accel, now = self.accel, self.sim.now
+        suspects: list[str] = []
+        for memory in accel.memories:
+            if memory.channel.busy_until > now + STUCK_HORIZON_NS:
+                suspects.append(
+                    f"{memory.name}: channel reserved until "
+                    f"{memory.channel.busy_until:g} ns"
+                )
+        for tile in accel.tiles:
+            if tile.gpe.core.busy_until > now + STUCK_HORIZON_NS:
+                suspects.append(
+                    f"{tile.gpe.name}: core busy until "
+                    f"{tile.gpe.core.busy_until:g} ns"
+                )
+            if tile.dna.tracker.busy_until > now + STUCK_HORIZON_NS:
+                suspects.append(
+                    f"{tile.dna.name}: array busy until "
+                    f"{tile.dna.tracker.busy_until:g} ns"
+                )
+            if tile.gpe.waiting_threads:
+                suspects.append(
+                    f"{tile.gpe.name}: {tile.gpe.waiting_threads} tasks "
+                    f"waiting for a thread"
+                )
+            if tile.agg.waiting_allocs:
+                suspects.append(
+                    f"{tile.agg.name}: {tile.agg.waiting_allocs} "
+                    f"aggregations waiting for an entry"
+                )
+            if tile.dnq.waiting_reservations:
+                suspects.append(
+                    f"{tile.dnq.name}: {tile.dnq.waiting_reservations} "
+                    f"jobs waiting for a slot"
+                )
+        for (src, dst), busy_until in accel.noc.stalled_links(
+            now, STUCK_HORIZON_NS
+        ):
+            suspects.append(
+                f"noc link {src}->{dst}: reserved until {busy_until:g} ns"
+            )
+        return suspects
 
     def _enqueue_task(
         self, tile: Tile, task: VertexTask, layer: LayerProgram

@@ -11,6 +11,12 @@ from repro.sim.kernel import Event, Simulator, SimulationError
 from repro.sim.clock import Clock
 from repro.sim.module import Module
 from repro.sim.stats import BusyTracker, StatSet
+from repro.sim.watchdog import (
+    Watchdog,
+    WatchdogConfig,
+    WatchdogDiagnosis,
+    WatchdogTrip,
+)
 
 __all__ = [
     "Event",
@@ -20,4 +26,8 @@ __all__ = [
     "Module",
     "BusyTracker",
     "StatSet",
+    "Watchdog",
+    "WatchdogConfig",
+    "WatchdogDiagnosis",
+    "WatchdogTrip",
 ]

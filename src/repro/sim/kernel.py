@@ -10,11 +10,31 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any, Callable, Protocol
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+
+
+class SupportsWatchdog(Protocol):
+    """Budget checker accepted by :meth:`Simulator.run`."""
+
+    def before_event(self, sim: "Simulator", event: "Event") -> None: ...
+
+
+def describe_callback(callback: Callable[..., None]) -> str:
+    """Human-readable owner label for a scheduled callback.
+
+    Bound methods of named components (``callback.__self__.name``) label
+    as ``<component>.<method>``; plain functions and closures fall back to
+    their qualified name.
+    """
+    owner = getattr(callback, "__self__", None)
+    name = getattr(owner, "name", None)
+    if isinstance(name, str):
+        return f"{name}.{callback.__name__}"
+    return getattr(callback, "__qualname__", repr(callback))
 
 
 @dataclass(order=True)
@@ -66,8 +86,35 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the queue (including cancelled ones)."""
+        """Number of events still in the queue (including cancelled ones).
+
+        Cancelled events stay queued until their timestamp is reached and
+        the kernel pops (and skips) them, so this counts them too; use
+        :meth:`pending_active` to exclude them.
+        """
         return len(self._queue)
+
+    def pending_active(self) -> int:
+        """Number of queued events that will actually fire."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    def pending_by_owner(self) -> dict[str, int]:
+        """Non-cancelled queued events grouped by owning component.
+
+        Callbacks that are bound methods of a named component (anything
+        with a ``name`` attribute, e.g. a :class:`~repro.sim.module.Module`)
+        group under ``<name>.<method>``; everything else groups under the
+        callback's qualified name.  This is the kernel-side half of a
+        watchdog diagnosis: when a run is aborted, it names who was still
+        waiting for events.
+        """
+        counts: dict[str, int] = {}
+        for event in self._queue:
+            if event.cancelled:
+                continue
+            owner = describe_callback(event.callback)
+            counts[owner] = counts.get(owner, 0) + 1
+        return counts
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` ns from now."""
@@ -86,8 +133,20 @@ class Simulator:
         heapq.heappush(self._queue, event)
         return event
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+    def run(
+        self,
+        until: float | None = None,
+        max_events: int | None = None,
+        watchdog: "SupportsWatchdog | None" = None,
+    ) -> float:
         """Run events until the queue drains, ``until`` ns, or ``max_events``.
+
+        ``until`` and ``max_events`` are cooperative stop conditions (the
+        run returns quietly); ``watchdog`` — any object with a
+        ``before_event(sim, event)`` method, normally a
+        :class:`repro.sim.watchdog.Watchdog` — enforces hard budgets by
+        raising on a trip, leaving the offending event queued so the
+        failure can be diagnosed.
 
         Returns the simulated time when the run stopped.
         """
@@ -101,9 +160,12 @@ class Simulator:
                 if until is not None and event.time > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
                 if event.cancelled:
+                    heapq.heappop(self._queue)
                     continue
+                if watchdog is not None:
+                    watchdog.before_event(self, event)
+                heapq.heappop(self._queue)
                 self._now = event.time
                 event.callback(*event.args)
                 self._events_fired += 1

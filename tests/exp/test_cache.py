@@ -83,12 +83,29 @@ class TestPointKey:
         "clock_ghz": lambda c: c.with_clock(c.clock_ghz / 2),
     }
 
+    #: Fields deliberately excluded from the fingerprint: execution
+    #: budgets bound *termination*, never results, so tightening a
+    #: watchdog must still hit the cache (config_fingerprint strips it).
+    EXCLUDED = {"watchdog"}
+
     def test_variations_cover_every_field(self):
         field_names = {f.name for f in dataclasses.fields(AcceleratorConfig)}
-        assert set(self.VARIATIONS) == field_names, (
+        assert set(self.VARIATIONS) | self.EXCLUDED == field_names, (
             "AcceleratorConfig grew a field the key test does not vary — "
             "add a variation (and bump SCHEMA_VERSION if the new field "
-            "changes simulation results)"
+            "changes simulation results), or list it in EXCLUDED if it "
+            "provably cannot change results"
+        )
+
+    def test_watchdog_budgets_do_not_invalidate(self):
+        from repro.sim.watchdog import WatchdogConfig
+
+        tightened = dataclasses.replace(
+            CPU_ISO_BW,
+            watchdog=WatchdogConfig(max_events=1000, max_wall_s=1.0),
+        )
+        assert point_key("gcn-cora", tightened) == point_key(
+            "gcn-cora", CPU_ISO_BW
         )
 
     @pytest.mark.parametrize("field", sorted(VARIATIONS))

@@ -1,0 +1,330 @@
+"""Sweep-layer fault tolerance: crashes, timeouts, retries, degradation.
+
+These tests drive :func:`repro.exp.runner.run_sweep_detailed` through
+every failure mode in the ISSUE's acceptance list.  Worker behaviour is
+steered by monkeypatching ``repro.exp.runner.simulate_point`` in the
+parent; Linux's fork start method propagates the patch into pool
+workers, so a test can make a *worker process* kill itself mid-point.
+"""
+
+import dataclasses
+import os
+import signal
+import time
+
+import pytest
+
+import repro.eval.accelerator as eval_accel
+import repro.exp.runner as runner_mod
+from repro.accel.config import CPU_ISO_BW
+from repro.exp.cache import ResultCache, store
+from repro.exp.errors import SimulationDiverged, SweepFailed
+from repro.exp.runner import (
+    Point,
+    RetryPolicy,
+    run_sweep,
+    run_sweep_detailed,
+)
+from repro.runtime.report import LayerReport, SimulationReport
+from repro.sim.kernel import SimulationError
+
+
+def sample_report(point: Point) -> SimulationReport:
+    config = point.resolved_config
+    return SimulationReport(
+        benchmark=point.benchmark_key,
+        config_name=config.name,
+        clock_ghz=config.clock_ghz,
+        layers=[LayerReport(name="l", start_ns=0.0, end_ns=100.0,
+                            num_tasks=1)],
+        dram_bytes=1.0,
+        dram_wasted_bytes=0.0,
+        mean_bandwidth_gbps=1.0,
+        bandwidth_utilization=0.5,
+        dna_utilization=0.5,
+        gpe_utilization=0.5,
+        agg_utilization=0.5,
+        noc_peak_link_utilization=0.5,
+    )
+
+
+def make_points(tag: str, n: int = 1) -> list[Point]:
+    """Points with cache keys unique to one test (the config name is part
+    of the fingerprint), so the process-wide memo never crosses tests.
+    Clocks are exact integers so tests can select points by value."""
+    config = dataclasses.replace(CPU_ISO_BW, name=f"resilience-{tag}")
+    return [Point("gcn-cora", config, float(i + 1)) for i in range(n)]
+
+
+@pytest.fixture
+def fake_compile(monkeypatch):
+    """Skip real benchmark compilation (simulate_point is faked anyway)."""
+    monkeypatch.setattr(eval_accel, "_compiled_program", lambda key: None)
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    return ResultCache(tmp_path)
+
+
+FAST_RETRY = RetryPolicy(retries=2, backoff_s=0.01)
+
+
+class TestSerial:
+    def test_duplicate_points_simulated_once(
+        self, monkeypatch, fake_compile, fresh_cache
+    ):
+        """Satellite: dedupe of cache-miss points is by key-set, and a
+        duplicated point costs exactly one simulation."""
+        calls = []
+        monkeypatch.setattr(
+            runner_mod, "simulate_point",
+            lambda point, config=None: (calls.append(point.key),
+                                        sample_report(point))[1],
+        )
+        [point] = make_points("dedupe")
+        outcome = run_sweep_detailed(
+            [point, point, point], jobs=1, cache=fresh_cache
+        )
+        assert len(outcome.results) == 3
+        assert outcome.ok
+        assert len(calls) == 1
+        assert outcome.results[0] is outcome.results[2]
+
+    def test_many_duplicates_stay_linear(
+        self, monkeypatch, fake_compile, fresh_cache
+    ):
+        calls = []
+        monkeypatch.setattr(
+            runner_mod, "simulate_point",
+            lambda point, config=None: (calls.append(1),
+                                        sample_report(point))[1],
+        )
+        points = make_points("linear", 5) * 40  # 200 inputs, 5 distinct
+        outcome = run_sweep_detailed(points, jobs=1, cache=fresh_cache)
+        assert len(outcome.results) == 200
+        assert len(calls) == 5
+
+    def test_diverged_point_isolated_and_not_retried(
+        self, monkeypatch, fake_compile, fresh_cache
+    ):
+        calls = []
+
+        def fake(point, config=None):
+            calls.append(point.resolved_config.clock_ghz)
+            if point.resolved_config.clock_ghz == 2.0:
+                raise SimulationError("layer 'l' deadlocked")
+            return sample_report(point)
+
+        monkeypatch.setattr(runner_mod, "simulate_point", fake)
+        points = make_points("diverge", 3)
+        outcome = run_sweep_detailed(
+            points, jobs=1, cache=fresh_cache, policy=FAST_RETRY
+        )
+        assert not outcome.ok
+        assert [r.status for r in outcome.results] == [
+            "ok", "diverged", "ok"
+        ]
+        assert outcome.reports[1] is None
+        failed = outcome.failures[0]
+        assert failed.attempts == 1  # deterministic failures never retry
+        assert "deadlocked" in failed.error
+        assert len(calls) == 3  # every other point still ran
+        assert "1 failed" in outcome.summary()
+
+    def test_strict_run_sweep_raises_typed_failure(
+        self, monkeypatch, fake_compile, fresh_cache
+    ):
+        def fake(point, config=None):
+            raise SimulationError("watchdog tripped (max_time)")
+
+        monkeypatch.setattr(runner_mod, "simulate_point", fake)
+        with pytest.raises(SweepFailed) as exc:
+            run_sweep(make_points("strict"), jobs=1, cache=fresh_cache)
+        outcome = exc.value.outcome
+        assert isinstance(outcome.failures[0].to_error(), SimulationDiverged)
+        assert "watchdog" in str(exc.value)
+
+    def test_serial_wall_budget_trips_as_timeout(self, fresh_cache):
+        """End to end, no fakes: a real simulation under a microscopic
+        wall budget diagnoses as a timeout, not a hang."""
+        [point] = make_points("wallclock")
+        outcome = run_sweep_detailed(
+            [point], jobs=1, cache=fresh_cache,
+            policy=RetryPolicy(timeout_s=1e-4),
+        )
+        assert [r.status for r in outcome.results] == ["timeout"]
+        assert "max_wall" in outcome.results[0].error
+
+    def test_cached_point_status(
+        self, monkeypatch, fake_compile, fresh_cache
+    ):
+        [point] = make_points("cachehit")
+        store(point.key, sample_report(point), fresh_cache)
+        seen = []
+        outcome = run_sweep_detailed(
+            [point], jobs=1, cache=fresh_cache,
+            progress=lambda p, r, cached: seen.append(cached),
+        )
+        assert outcome.results[0].status == "cached"
+        assert outcome.results[0].attempts == 0
+        assert seen == [True]
+
+
+class TestParallel:
+    def test_killed_worker_is_retried_and_sweep_completes(
+        self, monkeypatch, fake_compile, fresh_cache, tmp_path
+    ):
+        """Acceptance: a worker killed mid-run fails only its own point,
+        the point is retried, and every other point's result arrives."""
+        sentinel = tmp_path / "already-died"
+
+        def fake(point, config=None):
+            if (point.resolved_config.clock_ghz == 1.0
+                    and not sentinel.exists()):
+                sentinel.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return sample_report(point)
+
+        monkeypatch.setattr(runner_mod, "simulate_point", fake)
+        points = make_points("kill", 3)
+        outcome = run_sweep_detailed(
+            points, jobs=2, cache=fresh_cache, policy=FAST_RETRY
+        )
+        assert outcome.ok, outcome.summary()
+        by_clock = {
+            r.point.resolved_config.clock_ghz: r for r in outcome.results
+        }
+        assert by_clock[1.0].attempts >= 2  # retried after the kill
+        assert all(r.report is not None for r in outcome.results)
+
+    def test_always_crashing_point_exhausts_retries(
+        self, monkeypatch, fake_compile, fresh_cache
+    ):
+        def fake(point, config=None):
+            if point.resolved_config.clock_ghz == 1.0:
+                # Let the innocent point's result land before the pool
+                # breaks, so the test observes clean crash isolation.
+                time.sleep(0.4)
+                os.kill(os.getpid(), signal.SIGKILL)
+            return sample_report(point)
+
+        monkeypatch.setattr(runner_mod, "simulate_point", fake)
+        points = make_points("crashloop", 2)
+        outcome = run_sweep_detailed(
+            points, jobs=2, cache=fresh_cache,
+            policy=RetryPolicy(retries=1, backoff_s=0.01),
+        )
+        statuses = {
+            r.point.resolved_config.clock_ghz: r.status
+            for r in outcome.results
+        }
+        assert statuses[1.0] == "crash"
+        assert statuses[2.0] == "ok"
+        failed = outcome.failures[0]
+        assert failed.attempts == 2  # first try + one retry
+        assert "retry budget" in failed.error
+
+    def test_hung_worker_killed_at_deadline(
+        self, monkeypatch, fake_compile, fresh_cache
+    ):
+        def fake(point, config=None):
+            if point.resolved_config.clock_ghz == 1.0:
+                time.sleep(30)
+            return sample_report(point)
+
+        monkeypatch.setattr(runner_mod, "simulate_point", fake)
+        points = make_points("hang", 2)
+        start = time.monotonic()
+        outcome = run_sweep_detailed(
+            points, jobs=2, cache=fresh_cache,
+            policy=RetryPolicy(timeout_s=0.5, retries=0, backoff_s=0.01),
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 20  # nowhere near the worker's 30 s sleep
+        statuses = {
+            r.point.resolved_config.clock_ghz: r.status
+            for r in outcome.results
+        }
+        assert statuses[1.0] == "timeout"
+        assert statuses[2.0] == "ok"
+        assert "wall-clock budget" in outcome.failures[0].error
+
+    def test_pool_start_failure_degrades_to_serial(
+        self, monkeypatch, fake_compile, fresh_cache
+    ):
+        monkeypatch.setattr(
+            runner_mod, "simulate_point",
+            lambda point, config=None: sample_report(point),
+        )
+
+        class NoPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no processes for you")
+
+        monkeypatch.setattr(runner_mod, "ProcessPoolExecutor", NoPool)
+        points = make_points("nopool", 3)
+        with pytest.warns(RuntimeWarning, match="serial"):
+            outcome = run_sweep_detailed(
+                points, jobs=4, cache=fresh_cache, policy=FAST_RETRY
+            )
+        assert outcome.ok
+        assert all(r.status == "ok" for r in outcome.results)
+
+    def test_parallel_failure_keeps_other_reports(
+        self, monkeypatch, fake_compile, fresh_cache
+    ):
+        def fake(point, config=None):
+            if point.resolved_config.clock_ghz == 2.0:
+                raise SimulationError("injected divergence")
+            return sample_report(point)
+
+        monkeypatch.setattr(runner_mod, "simulate_point", fake)
+        points = make_points("pardiv", 4)
+        outcome = run_sweep_detailed(
+            points, jobs=2, cache=fresh_cache, policy=FAST_RETRY
+        )
+        statuses = [r.status for r in outcome.results]
+        assert statuses.count("diverged") == 1
+        assert statuses.count("ok") == 3
+
+
+class TestRetryPolicy:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_SWEEP_RETRIES", "5")
+        monkeypatch.setenv("REPRO_SWEEP_BACKOFF", "0.25")
+        policy = RetryPolicy.from_env()
+        assert policy.timeout_s == 12.5
+        assert policy.retries == 5
+        assert policy.backoff_s == 0.25
+
+    def test_explicit_arguments_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_TIMEOUT", "12.5")
+        policy = RetryPolicy.from_env(timeout_s=3.0)
+        assert policy.timeout_s == 3.0
+
+    def test_defaults_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_TIMEOUT", raising=False)
+        monkeypatch.delenv("REPRO_SWEEP_RETRIES", raising=False)
+        monkeypatch.delenv("REPRO_SWEEP_BACKOFF", raising=False)
+        assert RetryPolicy.from_env() == RetryPolicy()
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_s=0.5, backoff_factor=2.0)
+        assert policy.backoff(1) == 0.5
+        assert policy.backoff(2) == 1.0
+        assert policy.backoff(3) == 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout_s=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.5)
+
+    def test_deadline_includes_grace(self):
+        assert RetryPolicy().deadline_s is None
+        assert RetryPolicy(timeout_s=10.0).deadline_s == 15.0
+        assert RetryPolicy(timeout_s=0.5).deadline_s == 1.5

@@ -117,3 +117,86 @@ def test_reentrant_run_rejected():
     sim.schedule(1.0, nested)
     with pytest.raises(SimulationError):
         sim.run()
+
+
+def test_run_usable_again_after_watchdog_raise():
+    """An aborted run must not leave the kernel marked as running."""
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.run(watchdog=_RaisingWatchdog())
+    fired = []
+    sim.schedule(1.0, fired.append, "after")
+    sim.run()
+    assert fired == ["after"]
+
+
+class _RaisingWatchdog:
+    def before_event(self, sim, event):
+        raise SimulationError("budget")
+
+
+def test_max_events_combined_with_until():
+    """Whichever bound is reached first stops the run; the rest of the
+    queue survives for a later run() call."""
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i), fired.append, i)
+    # max_events binds first: three events fire, all below until.
+    sim.run(until=8.0, max_events=3)
+    assert fired == [0, 1, 2]
+    assert sim.now == 2.0
+    # until binds first now: events at 3..8 fire, 9.0 stays queued.
+    sim.run(until=8.0, max_events=100)
+    assert fired == list(range(9))
+    assert sim.now == 8.0
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_cancelled_events_counted_until_popped():
+    """`pending` includes cancelled events (they stay queued until their
+    timestamp); `pending_active` and `pending_by_owner` exclude them."""
+    sim = Simulator()
+    fired = []
+    kept = sim.schedule(2.0, fired.append, "kept")
+    cancelled = sim.schedule(1.0, fired.append, "cancelled")
+    cancelled.cancel()
+    assert sim.pending == 2
+    assert sim.pending_active() == 1
+    assert sum(sim.pending_by_owner().values()) == 1
+    assert not kept.cancelled
+    sim.run()
+    assert fired == ["kept"]
+    assert sim.pending == 0
+    assert sim.events_fired == 1
+
+
+def test_step_skips_cancelled_events():
+    sim = Simulator()
+    fired = []
+    first = sim.schedule(1.0, fired.append, "first")
+    sim.schedule(2.0, fired.append, "second")
+    first.cancel()
+    assert sim.step()
+    assert fired == ["second"]
+    assert sim.now == 2.0
+    assert not sim.step()
+
+
+def test_pending_by_owner_names_bound_methods():
+    class NamedUnit:
+        name = "tile(0, 0).gpe"
+
+        def tick(self):
+            pass
+
+    sim = Simulator()
+    unit = NamedUnit()
+    sim.schedule(1.0, unit.tick)
+    sim.schedule(2.0, unit.tick)
+    sim.schedule(3.0, lambda: None)
+    counts = sim.pending_by_owner()
+    assert counts["tile(0, 0).gpe.tick"] == 2
+    assert sum(counts.values()) == 3

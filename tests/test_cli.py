@@ -41,6 +41,15 @@ class TestParser:
         assert args.jobs is None  # resolved to the core count at run time
         assert list(args.clocks) == [1.2, 2.4]
         assert not args.no_cache
+        assert args.timeout is None  # falls back to $REPRO_SWEEP_TIMEOUT
+        assert args.retries is None  # falls back to $REPRO_SWEEP_RETRIES
+
+    def test_sweep_retry_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "--timeout", "30", "--retries", "1"]
+        )
+        assert args.timeout == 30.0
+        assert args.retries == 1
 
 
 class TestCommands:
@@ -110,3 +119,43 @@ class TestCommands:
         latency = [l for l in first.splitlines() if "pgnn" in l]
         assert latency and latency[-1] in second
         clear_memo()  # the memo now holds a non-default-cache entry
+
+    def test_sweep_unknown_benchmark_exits_2(self, capsys):
+        """Validation runs before any worker spawns: one line on stderr
+        listing the valid names, exit code 2."""
+        code = main(["sweep", "--benchmarks", "bert-wikipedia"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "bert-wikipedia" in err
+        assert "gcn-cora" in err  # lists valid names
+
+    def test_sweep_unknown_config_exits_2(self, capsys):
+        code = main(["sweep", "--configs", "TPU iso-BW"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "TPU iso-BW" in err
+        assert "CPU iso-BW" in err
+
+    def test_sweep_failure_exits_1(self, capsys, monkeypatch):
+        """A sweep with failed points prints their summary and exits 1."""
+        import repro.exp.runner as runner_mod
+        from repro.exp.runner import PointResult, SweepOutcome
+
+        def fake_detailed(points, jobs=1, cache=None, progress=None,
+                          policy=None):
+            results = [
+                PointResult(p, "timeout", attempts=1, error="budget blown")
+                for p in points
+            ]
+            return SweepOutcome(results)
+
+        monkeypatch.setattr(runner_mod, "run_sweep_detailed", fake_detailed)
+        code = main(["sweep", "--jobs", "1", "--benchmarks", "pgnn-dblp_1",
+                     "--configs", "CPU iso-BW", "--clocks", "2.4",
+                     "--no-cache"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.out  # per-point table cell
+        assert "TIMEOUT" in captured.err  # failure summary
+        assert "budget blown" in captured.err
