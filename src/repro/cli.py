@@ -6,6 +6,7 @@ Usage::
     python -m repro table2               # Section II latencies
     python -m repro figure8 --fast       # speedups without MPNN
     python -m repro simulate gcn-cora --config "GPU iso-BW" --clock 1.2
+    python -m repro profile gcn-cora --trace trace.json  # observability
     python -m repro sweep --jobs 4       # Figure 8 grid, parallel + cached
 """
 
@@ -21,6 +22,8 @@ def _cmd_list(_args) -> None:
     print("artifacts: table1 table2 figure2 table3 table4 table5 table6 "
           "table7 figure8 figure9 figure10 energy")
     print("commands:  simulate <benchmark> [--config NAME] [--clock GHZ]")
+    print("           profile <benchmark> [CONFIG] [--clock GHZ]"
+          " [--trace PATH]")
     print("           sweep [--jobs N] [--benchmarks ...] [--configs ...]"
           " [--clocks ...]")
     from repro.models import BENCHMARKS
@@ -235,6 +238,61 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.eval.accelerator import _benchmark_by_key, _config_by_name
+    from repro.obs import Observer, write_chrome_trace
+
+    try:
+        _benchmark_by_key(args.benchmark)
+        _config_by_name(args.config)
+    except KeyError as exc:
+        print(f"repro profile: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    from repro.eval.accelerator import run_benchmark
+
+    observer = Observer()
+    report = run_benchmark(
+        args.benchmark, args.config, args.clock, observer=observer
+    )
+    print(f"{report.benchmark} on {report.config_name} @ "
+          f"{report.clock_ghz} GHz: {report.latency_ms:.3f} ms")
+
+    breakdown = observer.utilization_breakdown()
+    print(format_table(
+        ["Unit class", "Modules", "Busy (us)", "Mean util", "Peak util"],
+        [
+            (name, entry["modules"], entry["busy_ns"] / 1e3,
+             f"{entry['utilization']:.1%}",
+             f"{entry['peak_utilization']:.1%}")
+            for name, entry in sorted(breakdown["classes"].items())
+        ],
+        title="Utilization by unit class",
+    ))
+
+    profile = observer.profiler.profile()
+    print(f"kernel: {profile.events} events in {profile.run_wall_s:.2f} s "
+          f"({profile.events_per_sec:,.0f} events/s, "
+          f"{profile.handler_wall_s:.2f} s in handlers)")
+    if profile.queue_depth_hist:
+        print("  queue depth:")
+        for label, count in profile.queue_depth_buckets():
+            print(f"    {label:>12s}: {count}")
+    hottest = profile.hottest_handlers()
+    if hottest:
+        print(f"  hottest handlers (sampled 1/{profile.owner_sample_every}):")
+        for owner, wall_s, events in hottest:
+            print(f"    {owner:32s} {wall_s * 1e3:8.1f} ms  "
+                  f"({events} sampled events)")
+
+    if args.trace is not None:
+        events = write_chrome_trace(args.trace, observer.timeline,
+                                    observer.tracer)
+        print(f"wrote {events} trace events to {args.trace} "
+              f"(load in Perfetto / chrome://tracing)")
+    return 0
+
+
 def _cmd_simulate(args) -> None:
     from repro.eval.accelerator import run_benchmark
 
@@ -274,6 +332,20 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("benchmark", help="e.g. gcn-cora")
     simulate.add_argument("--config", default="CPU iso-BW")
     simulate.add_argument("--clock", type=float, default=2.4)
+    profile = sub.add_parser(
+        "profile",
+        help="simulate one benchmark with full observability attached",
+    )
+    profile.add_argument("benchmark", help="e.g. gcn-cora")
+    profile.add_argument(
+        "config", nargs="?", default="CPU iso-BW",
+        help="Table VI configuration name (default: CPU iso-BW)",
+    )
+    profile.add_argument("--clock", type=float, default=2.4, metavar="GHZ")
+    profile.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON timeline to PATH",
+    )
     sweep = sub.add_parser(
         "sweep",
         help="run a benchmark x config x clock grid, parallel and cached",
@@ -328,6 +400,7 @@ def main(argv: list[str] | None = None) -> int:
         "figure10": _cmd_figure10,
         "energy": _cmd_energy,
         "simulate": _cmd_simulate,
+        "profile": _cmd_profile,
         "sweep": _cmd_sweep,
     }
     if args.command in ("table1", "table3", "table4", "table5", "table6"):

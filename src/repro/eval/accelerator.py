@@ -16,6 +16,7 @@ silently served a stale report.
 from __future__ import annotations
 
 import functools
+from typing import TYPE_CHECKING
 
 from repro.accel.config import (
     CONFIGURATIONS,
@@ -26,6 +27,9 @@ from repro.models.registry import BENCHMARKS, Benchmark, load_benchmark
 from repro.runtime.compiler import compile_model
 from repro.runtime.engine import simulate
 from repro.runtime.report import SimulationReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
 
 
 def _benchmark_by_key(key: str) -> Benchmark:
@@ -59,6 +63,7 @@ def run_config(
     benchmark_key: str,
     config: AcceleratorConfig,
     cache: object = DEFAULT_CACHE,
+    observer: "Observer | None" = None,
 ) -> SimulationReport:
     """Simulate one benchmark on one fully-resolved configuration.
 
@@ -66,9 +71,20 @@ def run_config(
     field, hashed), so two configs that differ in any parameter never
     share an entry, and equal configs always do — whatever they are
     named.
+
+    ``observer`` attaches the :mod:`repro.obs` layer.  Metrics only
+    exist for a run that actually executes, so an observed request
+    always simulates — but it stores its (bit-identical) report under
+    the *same* cache key a bare run would use: observer attachment is
+    excluded from the cache fingerprint, like the watchdog budgets.
     """
     _benchmark_by_key(benchmark_key)  # validate early, before hashing
     key = point_key(benchmark_key, config)
+    if observer is not None:
+        report = simulate(_compiled_program(benchmark_key), config,
+                          observer=observer)
+        store(key, report, cache)
+        return report
     report = lookup(key, cache)
     if report is None:
         report = simulate(_compiled_program(benchmark_key), config)
@@ -80,15 +96,18 @@ def run_benchmark(
     benchmark_key: str,
     config_name: str = "CPU iso-BW",
     clock_ghz: float = 2.4,
+    observer: "Observer | None" = None,
 ) -> SimulationReport:
     """Simulate one benchmark on one Table VI configuration.
 
     The evaluation drivers (Figure 8 clock sweep, Figure 10
     utilizations) share simulations of the same operating point through
-    the process memo and the persistent store.
+    the process memo and the persistent store.  ``observer`` attaches
+    the :mod:`repro.obs` layer (forcing a real simulation; the cache key
+    is unchanged).
     """
     config = _config_by_name(config_name).with_clock(clock_ghz)
-    return run_config(benchmark_key, config)
+    return run_config(benchmark_key, config, observer=observer)
 
 
 #: Drop the in-memory layer (API-compatible with the old ``lru_cache``

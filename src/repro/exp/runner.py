@@ -149,13 +149,21 @@ class RetryPolicy:
 
 @dataclass
 class PointResult:
-    """Final status of one operating point after all attempts."""
+    """Final status of one operating point after all attempts.
+
+    ``metrics`` is the per-point observability snapshot (see
+    :meth:`repro.obs.Observer.snapshot`) collected when the sweep ran
+    with ``collect_metrics=True``.  It is ``None`` for failed points and
+    for cache hits — metrics describe an *execution*, so they are never
+    part of the cached report and never feed the cache fingerprint.
+    """
 
     point: Point
     status: str  # "ok" | "cached" | "timeout" | "crash" | "diverged" | "error"
     report: SimulationReport | None = None
     attempts: int = 0
     error: str | None = None
+    metrics: dict[str, Any] | None = None
 
     @property
     def ok(self) -> bool:
@@ -255,12 +263,16 @@ def _config_with_wall_budget(
 
 
 def simulate_point(
-    point: Point, config: AcceleratorConfig | None = None
+    point: Point,
+    config: AcceleratorConfig | None = None,
+    observer: Any = None,
 ) -> SimulationReport:
     """Compile (memoized per process) and simulate one point.
 
     ``config`` overrides the point's resolved configuration — used to
     apply execution budgets without changing the cache identity.
+    ``observer`` (a :class:`repro.obs.Observer`) attaches metrics
+    collection; instrumentation never changes the report.
     """
     from repro.eval.accelerator import _compiled_program
     from repro.runtime.engine import simulate
@@ -268,7 +280,16 @@ def simulate_point(
     return simulate(
         _compiled_program(point.benchmark_key),
         config if config is not None else point.resolved_config,
+        observer=observer,
     )
+
+
+def _sweep_observer() -> Any:
+    """The cheap observer variant the sweep harness attaches per point:
+    registry counters only — no timeline, phase trace, or profiler."""
+    from repro.obs.observer import Observer
+
+    return Observer(timeline=False, phases=False, kernel_profile=False)
 
 
 def _classify_failure(exc: BaseException) -> tuple[str, str]:
@@ -286,17 +307,24 @@ def _classify_failure(exc: BaseException) -> tuple[str, str]:
     return "error", f"{type(exc).__name__}: {exc}"
 
 
-def _attempt_inline(point: Point, policy: RetryPolicy) -> PointResult:
+def _attempt_inline(
+    point: Point, policy: RetryPolicy, collect_metrics: bool = False
+) -> PointResult:
     """One in-process attempt, classified instead of propagated."""
+    observer = _sweep_observer() if collect_metrics else None
     try:
         config = _config_with_wall_budget(
             point.resolved_config, policy.timeout_s
         )
-        report = simulate_point(point, config)
+        if observer is None:
+            report = simulate_point(point, config)
+        else:
+            report = simulate_point(point, config, observer=observer)
     except Exception as exc:
         status, message = _classify_failure(exc)
         return PointResult(point, status, attempts=1, error=message)
-    return PointResult(point, "ok", report, attempts=1)
+    metrics = observer.snapshot() if observer is not None else None
+    return PointResult(point, "ok", report, attempts=1, metrics=metrics)
 
 
 def _worker(point: Point) -> dict[str, Any]:
@@ -311,21 +339,29 @@ def _worker(point: Point) -> dict[str, Any]:
 
 
 def _resilient_worker(
-    point: Point, timeout_s: float | None
+    point: Point, timeout_s: float | None, collect_metrics: bool = False
 ) -> dict[str, Any]:
     """Pool worker that classifies failures instead of raising them.
 
     Returning plain data sidesteps exception pickling entirely; only a
     dead process (crash, kill, OOM) surfaces as a future exception in
-    the parent.
+    the parent.  The metrics snapshot is already plain data, so it rides
+    along the same way.
     """
+    observer = _sweep_observer() if collect_metrics else None
     try:
         config = _config_with_wall_budget(point.resolved_config, timeout_s)
-        report = simulate_point(point, config)
+        if observer is None:
+            report = simulate_point(point, config)
+        else:
+            report = simulate_point(point, config, observer=observer)
     except Exception as exc:
         status, message = _classify_failure(exc)
         return {"ok": False, "status": status, "error": message}
-    return {"ok": True, "report": report_to_dict(report)}
+    payload: dict[str, Any] = {"ok": True, "report": report_to_dict(report)}
+    if observer is not None:
+        payload["metrics"] = observer.snapshot()
+    return payload
 
 
 def default_jobs() -> int:
@@ -367,9 +403,18 @@ def run_sweep_detailed(
     cache: object = DEFAULT_CACHE,
     progress: Callable[[Point, SimulationReport, bool], None] | None = None,
     policy: RetryPolicy | None = None,
+    collect_metrics: bool = False,
 ) -> SweepOutcome:
     """Like :func:`run_sweep`, returning per-point statuses, never raising
-    for point-level failures."""
+    for point-level failures.
+
+    ``collect_metrics=True`` attaches a registry-only
+    :class:`repro.obs.Observer` to every *simulated* point and stores its
+    snapshot on :attr:`PointResult.metrics`.  Cache hits keep
+    ``metrics=None`` (there was no execution to observe), and the cache
+    keys themselves are untouched — observer attachment is excluded from
+    the point fingerprint exactly like the watchdog budgets.
+    """
     policy = policy if policy is not None else RetryPolicy.from_env()
     points = list(points)
     keys = [p.key for p in points]
@@ -398,9 +443,9 @@ def run_sweep_detailed(
     if missing:
         if jobs <= 1 or len(missing) == 1:
             for point in missing:
-                finalize(_attempt_inline(point, policy))
+                finalize(_attempt_inline(point, policy, collect_metrics))
         else:
-            _run_parallel(missing, jobs, finalize, policy)
+            _run_parallel(missing, jobs, finalize, policy, collect_metrics)
 
     return SweepOutcome([by_key[key] for key in keys])
 
@@ -429,6 +474,7 @@ def _run_parallel(
     jobs: int,
     finalize: Callable[[PointResult], None],
     policy: RetryPolicy,
+    collect_metrics: bool = False,
 ) -> None:
     """Fan points out to worker processes; parent persists the results.
 
@@ -453,7 +499,7 @@ def _run_parallel(
 
     def run_serially(pending_points: Iterable[_Pending]) -> None:
         for pending in pending_points:
-            result = _attempt_inline(pending.point, policy)
+            result = _attempt_inline(pending.point, policy, collect_metrics)
             result.attempts += pending.attempts
             finalize(result)
 
@@ -511,7 +557,8 @@ def _run_parallel(
                 pending.attempts += 1
                 try:
                     future = pool.submit(
-                        _resilient_worker, pending.point, policy.timeout_s
+                        _resilient_worker, pending.point, policy.timeout_s,
+                        collect_metrics,
                     )
                 except Exception as exc:
                     if inflight or pending.attempts <= policy.retries + 1:
@@ -570,6 +617,7 @@ def _run_parallel(
                                 "ok",
                                 report_from_dict(payload["report"]),
                                 attempts=pending.attempts,
+                                metrics=payload.get("metrics"),
                             )
                         )
                     else:

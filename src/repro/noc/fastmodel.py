@@ -14,6 +14,8 @@ model: ``hops * hop_cycles + (flits - 1)`` cycles.
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.noc.config import NocConfig, NOC_CONFIG
 from repro.noc.topology import Coord, Mesh
 from repro.sim.stats import BusyTracker, StatSet
@@ -30,6 +32,9 @@ class PacketNetwork:
         self.mesh = mesh
         self.config = config
         self._links: dict[tuple[Coord, Coord], BusyTracker] = {}
+        self._tracker_listener: (
+            Callable[[tuple[Coord, Coord], BusyTracker], None] | None
+        ) = None
         self.stats = StatSet()
 
     def _link(self, src: Coord, dst: Coord) -> BusyTracker:
@@ -38,7 +43,27 @@ class PacketNetwork:
         if tracker is None:
             tracker = BusyTracker()
             self._links[key] = tracker
+            if self._tracker_listener is not None:
+                self._tracker_listener(key, tracker)
         return tracker
+
+    def attach_tracker_listener(
+        self,
+        listener: Callable[[tuple[Coord, Coord], BusyTracker], None],
+    ) -> None:
+        """Call ``listener(link, tracker)`` for every directed link.
+
+        Links are created lazily on first use, so the observability layer
+        cannot enumerate them up front; the listener fires immediately for
+        links that already exist and again whenever a new one appears.
+        Costs one ``is not None`` check per link *creation* (not per
+        packet) when nothing is attached.
+        """
+        if self._tracker_listener is not None:
+            raise RuntimeError("a tracker listener is already attached")
+        self._tracker_listener = listener
+        for key, tracker in self._links.items():
+            listener(key, tracker)
 
     def delivery_time(
         self,

@@ -1,0 +1,148 @@
+"""Simulator self-profiling: where does the *Python kernel* spend time?
+
+The hardware metrics answer "where do simulated cycles go"; this module
+answers the meta-question the ROADMAP's next optimisation round needs —
+where the host-side event loop spends wall-clock time.  A
+:class:`KernelProfiler` handed to :meth:`repro.sim.kernel.Simulator.run`
+measures per-event handler wall time, attributes it to owning modules by
+sampling (full attribution would double the string traffic of the hot
+loop), and keeps a power-of-two histogram of queue depth.
+
+Everything here observes *host* time only: attaching a profiler cannot
+change a single simulated timestamp, and with no profiler attached the
+kernel pays one ``is not None`` check per run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.kernel import Event, describe_callback
+
+#: Attribute every Nth event to its owning module by default; total
+#: event counts and wall time are exact regardless.
+DEFAULT_OWNER_SAMPLE_EVERY = 16
+
+
+@dataclass(frozen=True)
+class KernelProfile:
+    """Immutable summary of one (or several accumulated) kernel runs."""
+
+    events: int
+    run_wall_s: float
+    handler_wall_s: float
+    owner_sample_every: int
+    owner_wall_s: dict[str, float] = field(default_factory=dict)
+    owner_events: dict[str, int] = field(default_factory=dict)
+    queue_depth_hist: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        """Whole-loop event throughput (0.0 before any run finishes)."""
+        if self.run_wall_s <= 0:
+            return 0.0
+        return self.events / self.run_wall_s
+
+    def hottest_handlers(self, count: int = 5) -> list[tuple[str, float, int]]:
+        """Top owners by sampled handler wall time:
+        ``(owner, sampled_wall_s, sampled_events)``."""
+        ranked = sorted(
+            (
+                (owner, wall, self.owner_events.get(owner, 0))
+                for owner, wall in self.owner_wall_s.items()
+            ),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return ranked[:count]
+
+    def queue_depth_buckets(self) -> list[tuple[str, int]]:
+        """Histogram rows as ``(depth-range label, events)``, ascending."""
+        rows = []
+        for bucket in sorted(self.queue_depth_hist):
+            if bucket == 0:
+                label = "0"
+            else:
+                low, high = 1 << (bucket - 1), (1 << bucket) - 1
+                label = str(low) if low == high else f"{low}-{high}"
+            rows.append((label, self.queue_depth_hist[bucket]))
+        return rows
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-data view for snapshot merging / JSON export."""
+        return {
+            "events": self.events,
+            "run_wall_s": self.run_wall_s,
+            "handler_wall_s": self.handler_wall_s,
+            "events_per_sec": self.events_per_sec,
+            "owner_sample_every": self.owner_sample_every,
+            "owner_wall_s": dict(self.owner_wall_s),
+            "owner_events": dict(self.owner_events),
+            "queue_depth_hist": {
+                str(bucket): count
+                for bucket, count in sorted(self.queue_depth_hist.items())
+            },
+        }
+
+
+class KernelProfiler:
+    """Accumulating profiler for :meth:`Simulator.run` calls.
+
+    One instance may span several runs (the engine runs the kernel once
+    per layer); counters accumulate across them.
+    """
+
+    def __init__(
+        self, owner_sample_every: int = DEFAULT_OWNER_SAMPLE_EVERY
+    ) -> None:
+        if owner_sample_every < 1:
+            raise ValueError("owner_sample_every must be >= 1")
+        self._sample_every = owner_sample_every
+        self._events = 0
+        self._run_wall_s = 0.0
+        self._handler_wall_s = 0.0
+        self._owner_wall_s: dict[str, float] = {}
+        self._owner_events: dict[str, int] = {}
+        self._queue_depth_hist: dict[int, int] = {}
+
+    # -- kernel hooks (SupportsProfiler) ------------------------------------
+
+    def after_event(
+        self, event: Event, wall_s: float, queue_depth: int
+    ) -> None:
+        """Record one executed event (called by the kernel's run loop)."""
+        self._events += 1
+        self._handler_wall_s += wall_s
+        bucket = queue_depth.bit_length()
+        self._queue_depth_hist[bucket] = (
+            self._queue_depth_hist.get(bucket, 0) + 1
+        )
+        if self._events % self._sample_every == 0:
+            owner = describe_callback(event.callback)
+            self._owner_wall_s[owner] = (
+                self._owner_wall_s.get(owner, 0.0) + wall_s
+            )
+            self._owner_events[owner] = self._owner_events.get(owner, 0) + 1
+
+    def add_run_wall(self, wall_s: float) -> None:
+        """Accumulate one run's total loop wall time."""
+        self._run_wall_s += wall_s
+
+    # -- reporting ----------------------------------------------------------
+
+    @property
+    def events(self) -> int:
+        return self._events
+
+    def profile(self) -> KernelProfile:
+        """Snapshot of everything recorded so far."""
+        return KernelProfile(
+            events=self._events,
+            run_wall_s=self._run_wall_s,
+            handler_wall_s=self._handler_wall_s,
+            owner_sample_every=self._sample_every,
+            owner_wall_s=dict(self._owner_wall_s),
+            owner_events=dict(self._owner_events),
+            queue_depth_hist=dict(self._queue_depth_hist),
+        )

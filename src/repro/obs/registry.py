@@ -1,0 +1,130 @@
+"""Hierarchically-named registry of every unit's counters and ledgers.
+
+Before this layer existed the per-engine counters the paper's analysis
+needs (Figure 2 useful-vs-wasted bandwidth, Figure 10 DNA/GPE
+utilization) were scattered across ad-hoc ``StatSet``/``BusyTracker``
+instances.  The :class:`MetricsRegistry` gives them one home: every
+module registers under a hierarchical name (``tile.0.1/dna``,
+``noc/link/(0,0)-(0,1)``) and one :meth:`~MetricsRegistry.snapshot`
+call returns a single flat, JSON-serializable view of the whole run.
+
+The registry only holds *references* — it never copies counters, wraps
+hot paths, or changes what the units record — so registering a module
+cannot perturb simulated results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.sim.stats import BusyTracker, StatSet
+
+#: Snapshot type: hierarchical name -> plain-data metric view.
+Snapshot = dict[str, dict[str, Any]]
+
+
+class MetricsRegistry:
+    """Name -> (StatSet, BusyTracker) directory with collision checking.
+
+    Names are hierarchical by convention — ``/`` separates unit from
+    container, ``.`` separates coordinate components — but the registry
+    treats them as opaque strings; the only rule it enforces is that a
+    name is registered at most once.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, StatSet] = {}
+        self._trackers: dict[str, BusyTracker] = {}
+        self._order: list[str] = []
+
+    def register(
+        self,
+        name: str,
+        stats: StatSet | None = None,
+        tracker: BusyTracker | None = None,
+    ) -> None:
+        """Register a unit's counters and/or busy ledger under ``name``.
+
+        Raises :class:`ValueError` on a duplicate name (metrics from two
+        units silently merging under one name is precisely the failure
+        mode a registry exists to rule out) and when neither a
+        ``stats`` set nor a ``tracker`` is supplied.
+        """
+        if name in self._order:
+            raise ValueError(f"metric name {name!r} is already registered")
+        if stats is None and tracker is None:
+            raise ValueError(
+                f"registering {name!r} needs a StatSet, a BusyTracker, "
+                f"or both"
+            )
+        self._order.append(name)
+        if stats is not None:
+            self._stats[name] = stats
+        if tracker is not None:
+            self._trackers[name] = tracker
+
+    def names(self) -> list[str]:
+        """Registered names, in registration order."""
+        return list(self._order)
+
+    def tracker(self, name: str) -> BusyTracker | None:
+        """The busy ledger registered under ``name`` (None if counters-only)."""
+        if name not in self._order:
+            raise KeyError(f"no metric registered under {name!r}")
+        return self._trackers.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stats or name in self._trackers
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._order)
+
+    def snapshot(self, elapsed_ns: float | None = None) -> Snapshot:
+        """One flat, JSON-serializable view of every registered unit.
+
+        Each entry carries the unit's additive counters (``counters``)
+        and, for units with a busy ledger, the accumulated busy time
+        (``busy_ns``) plus — when the run's ``elapsed_ns`` is known —
+        the busy fraction (``utilization``).
+        """
+        view: Snapshot = {}
+        for name in self._order:
+            entry: dict[str, Any] = {}
+            stats = self._stats.get(name)
+            if stats is not None:
+                entry["counters"] = stats.as_dict()
+            tracker = self._trackers.get(name)
+            if tracker is not None:
+                entry["busy_ns"] = tracker.busy_time
+                if elapsed_ns is not None:
+                    entry["utilization"] = tracker.utilization(elapsed_ns)
+            view[name] = entry
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MetricsRegistry({len(self._order)} units)"
+
+
+def merge_snapshots(*snapshots: Mapping[str, dict[str, Any]]) -> Snapshot:
+    """Union of snapshot views from disjoint registries.
+
+    Used to combine per-component snapshots (e.g. accelerator units plus
+    harness-level counters) into one document.  The merge is associative
+    — ``merge(merge(a, b), c) == merge(a, merge(b, c))`` — and refuses
+    name collisions rather than letting one view silently shadow
+    another; ``tests/obs/test_metrics_properties.py`` holds both
+    properties under Hypothesis.
+    """
+    merged: Snapshot = {}
+    for snapshot in snapshots:
+        overlap = merged.keys() & snapshot.keys()
+        if overlap:
+            raise ValueError(
+                f"snapshot name collision: {sorted(overlap)}"
+            )
+        for name, entry in snapshot.items():
+            merged[name] = dict(entry)
+    return merged

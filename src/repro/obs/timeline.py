@@ -1,0 +1,241 @@
+"""Busy/stall timeline capture and Chrome ``trace_event`` export.
+
+Every :class:`~repro.sim.stats.BusyTracker` the observer registers gets
+a *span sink* — a plain list the tracker appends one
+``(request_ns, start_ns, finish_ns)`` record to per grant.  From those
+records the timeline reconstructs, per hardware track:
+
+* **busy spans** ``[start, finish)`` — the resource serving a request;
+* **stall spans** — wall-clock intervals during which at least one
+  request sat queued behind the resource (``request < start``), i.e.
+  the memory-channel and NoC head-of-line blocking the paper's
+  Section VI attributes wasted cycles to.
+
+:meth:`Timeline.chrome_trace` exports both as Chrome ``trace_event``
+JSON — complete (``"X"``) events with microsecond ``ts``/``dur`` —
+loadable in Perfetto or ``chrome://tracing``.  Stall spans are coalesced
+(interval union) and emitted on a sibling track so that every track's
+spans are non-overlapping, a property
+``tests/obs/test_metrics_properties.py`` holds under Hypothesis.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable
+
+#: One span record as appended by BusyTracker: (request, start, finish).
+SpanRecord = tuple[float, float, float]
+
+#: Chrome trace_event keys every exported event must carry.
+REQUIRED_TRACE_KEYS = ("ph", "ts", "pid", "tid", "name")
+
+#: pid under which all hardware tracks are grouped.
+TRACE_PID = 1
+
+
+def _merge_intervals(
+    intervals: Iterable[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Sorted union of half-open intervals (zero-length ones drop out)."""
+    merged: list[tuple[float, float]] = []
+    for start, end in sorted(i for i in intervals if i[1] > i[0]):
+        if merged and start <= merged[-1][1]:
+            last_start, last_end = merged[-1]
+            merged[-1] = (last_start, max(last_end, end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _measure(intervals: Iterable[tuple[float, float]]) -> float:
+    return sum(end - start for start, end in intervals)
+
+
+def _intersect(
+    a: list[tuple[float, float]], b: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Intersection of two sorted, disjoint interval lists."""
+    out: list[tuple[float, float]] = []
+    i = j = 0
+    while i < len(a) and j < len(b):
+        start = max(a[i][0], b[j][0])
+        end = min(a[i][1], b[j][1])
+        if end > start:
+            out.append((start, end))
+        if a[i][1] <= b[j][1]:
+            i += 1
+        else:
+            j += 1
+    return out
+
+
+@dataclass(frozen=True)
+class TrackAccounting:
+    """Disjoint wall-clock partition of one track over a run.
+
+    ``busy_ns`` is time the resource served with nothing queued behind
+    it, ``stalled_ns`` is time it served with at least one request
+    waiting (contention — the head-of-line blocking signal), and
+    ``idle_ns`` is the rest; the three sum to ``elapsed_ns`` exactly.
+    """
+
+    busy_ns: float
+    stalled_ns: float
+    idle_ns: float
+    elapsed_ns: float
+
+    @property
+    def utilization(self) -> float:
+        """Busy-or-stalled fraction — matches ``BusyTracker.utilization``."""
+        if self.elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, (self.busy_ns + self.stalled_ns) / self.elapsed_ns)
+
+
+class Timeline:
+    """Named span tracks, fed by ``BusyTracker`` span sinks."""
+
+    def __init__(self) -> None:
+        self._tracks: dict[str, list[SpanRecord]] = {}
+
+    def track(self, name: str) -> list[SpanRecord]:
+        """The (created-on-demand) span sink for track ``name``.
+
+        Hand the returned list to
+        :meth:`~repro.sim.stats.BusyTracker.attach_span_sink`; records
+        appear here as the simulation reserves the resource.
+        """
+        sink = self._tracks.get(name)
+        if sink is None:
+            sink = []
+            self._tracks[name] = sink
+        return sink
+
+    def track_names(self) -> list[str]:
+        """All track names, in creation order."""
+        return list(self._tracks)
+
+    def spans(self, name: str) -> list[SpanRecord]:
+        """Raw ``(request, start, finish)`` records of one track."""
+        return list(self._tracks[name])
+
+    def __len__(self) -> int:
+        return sum(len(spans) for spans in self._tracks.values())
+
+    # -- accounting ---------------------------------------------------------
+
+    def accounting(self, name: str, elapsed_ns: float) -> TrackAccounting:
+        """Partition ``elapsed_ns`` into busy / stalled / idle for a track.
+
+        ``stalled`` is measured as the interval-union of every request's
+        wait window ``[request, start)`` intersected with the busy
+        region — wall-clock time during which the resource was serving
+        *and* somebody queued — so the three components are disjoint and
+        ``busy + stalled + idle == elapsed`` by construction.
+        """
+        records = self._tracks.get(name, [])
+        busy = _merge_intervals((start, finish) for _, start, finish in records)
+        waits = _merge_intervals(
+            (request, start) for request, start, _ in records
+        )
+        busy_total = _measure(busy)
+        stalled = _measure(_intersect(busy, waits))
+        busy_exclusive = busy_total - stalled
+        idle = elapsed_ns - busy_total
+        return TrackAccounting(
+            busy_ns=busy_exclusive,
+            stalled_ns=stalled,
+            idle_ns=idle,
+            elapsed_ns=elapsed_ns,
+        )
+
+    # -- Chrome trace_event export ------------------------------------------
+
+    def chrome_trace(self, tracer: Any | None = None) -> dict[str, Any]:
+        """The whole timeline as a Chrome ``trace_event`` document.
+
+        Every track becomes two trace threads under one hardware
+        process: the busy spans (thread named after the track) and the
+        coalesced stall spans (``<track> [stall]``, emitted only when the
+        track ever stalled).  A :class:`~repro.runtime.trace.Tracer`,
+        when given, contributes its vertex-program phase transitions as
+        instant events on one thread per tile.  ``ts``/``dur`` are in
+        microseconds, as the format requires; every event carries the
+        five required keys (``ph``, ``ts``, ``pid``, ``tid``, ``name``).
+        """
+        events: list[dict[str, Any]] = []
+        tid = 0
+
+        def new_thread(label: str) -> int:
+            nonlocal tid
+            tid += 1
+            events.append({
+                "ph": "M",
+                "ts": 0,
+                "pid": TRACE_PID,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": label},
+            })
+            return tid
+
+        for name in sorted(self._tracks):
+            records = self._tracks[name]
+            busy_tid = new_thread(name)
+            for _, start, finish in records:
+                events.append({
+                    "ph": "X",
+                    "ts": start / 1e3,
+                    "dur": (finish - start) / 1e3,
+                    "pid": TRACE_PID,
+                    "tid": busy_tid,
+                    "name": "busy",
+                    "cat": "hw",
+                })
+            stalls = _merge_intervals(
+                (request, start) for request, start, _ in records
+            )
+            if stalls:
+                stall_tid = new_thread(f"{name} [stall]")
+                for start, end in stalls:
+                    events.append({
+                        "ph": "X",
+                        "ts": start / 1e3,
+                        "dur": (end - start) / 1e3,
+                        "pid": TRACE_PID,
+                        "tid": stall_tid,
+                        "name": "stall",
+                        "cat": "hw",
+                    })
+
+        if tracer is not None and getattr(tracer, "events", None):
+            phase_tids: dict[tuple[int, int], int] = {}
+            for record in tracer.events:
+                thread = phase_tids.get(record.tile)
+                if thread is None:
+                    thread = new_thread(f"tile{record.tile} phases")
+                    phase_tids[record.tile] = thread
+                events.append({
+                    "ph": "i",
+                    "ts": record.time_ns / 1e3,
+                    "pid": TRACE_PID,
+                    "tid": thread,
+                    "name": f"{record.layer}/{record.phase} v{record.vertex}",
+                    "cat": "phase",
+                    "s": "t",
+                })
+
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    path: str | Path, timeline: Timeline, tracer: Any | None = None
+) -> int:
+    """Serialize ``timeline`` as trace JSON at ``path``; returns the
+    number of events written."""
+    document = timeline.chrome_trace(tracer=tracer)
+    Path(path).write_text(json.dumps(document), encoding="utf-8")
+    return len(document["traceEvents"])

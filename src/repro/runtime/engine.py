@@ -20,6 +20,8 @@ allocation, DNQ slots, data arrivals).
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.accel.config import AcceleratorConfig
 from repro.accel.system import Accelerator
 from repro.accel.tile import Tile
@@ -29,6 +31,9 @@ from repro.runtime.trace import Tracer
 from repro.runtime.validate import assert_valid
 from repro.sim.kernel import SimulationError
 from repro.sim.watchdog import WatchdogDiagnosis, WatchdogTrip
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
 
 #: Fixed cost of the inter-layer barrier and reconfiguration, in GPE
 #: cycles: a configuration broadcast plus a synchronization round trip.
@@ -74,13 +79,31 @@ class DeadlockError(SimulationFailure):
 
 
 class RuntimeEngine:
-    """Runs accelerator programs and produces simulation reports."""
+    """Runs accelerator programs and produces simulation reports.
+
+    ``observer`` — a :class:`repro.obs.Observer` — attaches the unified
+    observability layer: the accelerator's units register into its
+    metrics registry (busy ledgers feeding its timeline), the kernel
+    runs under its profiler, and phase transitions go to its tracer
+    unless an explicit ``tracer`` is also given.  Observation never
+    perturbs simulated results (``tests/obs/test_zero_perturbation.py``).
+    """
 
     def __init__(
-        self, accel: Accelerator, tracer: Tracer | None = None
+        self,
+        accel: Accelerator,
+        tracer: Tracer | None = None,
+        observer: "Observer | None" = None,
     ) -> None:
         self.accel = accel
         self.sim = accel.sim
+        self.observer = observer
+        self._profiler = None
+        if observer is not None:
+            observer.attach(accel)
+            self._profiler = observer.profiler
+            if tracer is None:
+                tracer = observer.tracer
         self.tracer = tracer
         self._layer_end = 0.0
         self._tasks_remaining = 0
@@ -118,7 +141,10 @@ class RuntimeEngine:
                 )
             )
             clock_start = end
-        return self._build_report(program, reports)
+        report = self._build_report(program, reports)
+        if self.observer is not None:
+            self.observer.finalize(report)
+        return report
 
     # -- one layer ------------------------------------------------------------
 
@@ -138,7 +164,7 @@ class RuntimeEngine:
             )
         watchdog = self.accel.config.watchdog.build()
         try:
-            self.sim.run(watchdog=watchdog)
+            self.sim.run(watchdog=watchdog, profiler=self._profiler)
         except WatchdogTrip as trip:
             raise self._failure(
                 f"layer {layer.name!r} exceeded its watchdog budget "
@@ -436,14 +462,22 @@ class RuntimeEngine:
 
 
 def simulate(
-    program: AcceleratorProgram, config: AcceleratorConfig
+    program: AcceleratorProgram,
+    config: AcceleratorConfig,
+    observer: "Observer | None" = None,
 ) -> SimulationReport:
-    """Build an accelerator for ``config`` and run ``program`` on it."""
-    return simulate_detailed(program, config)[0]
+    """Build an accelerator for ``config`` and run ``program`` on it.
+
+    ``observer`` attaches the :mod:`repro.obs` observability layer for
+    this run; the report is bit-identical with or without one.
+    """
+    return simulate_detailed(program, config, observer=observer)[0]
 
 
 def simulate_detailed(
-    program: AcceleratorProgram, config: AcceleratorConfig
+    program: AcceleratorProgram,
+    config: AcceleratorConfig,
+    observer: "Observer | None" = None,
 ) -> tuple[SimulationReport, Accelerator]:
     """Like :func:`simulate`, also returning the accelerator instance.
 
@@ -452,5 +486,5 @@ def simulate_detailed(
     :func:`repro.accel.energy.estimate_energy` consumes.
     """
     accel = Accelerator(config)
-    report = RuntimeEngine(accel).run(program)
+    report = RuntimeEngine(accel, observer=observer).run(program)
     return report, accel

@@ -65,7 +65,15 @@ class Tracer:
         return spans
 
     def slowest_tasks(self, count: int = 5) -> list[tuple[str, int, float]]:
-        """The ``count`` longest task spans: (layer, vertex, duration)."""
+        """The ``count`` longest task spans: (layer, vertex, duration).
+
+        An empty trace yields an empty list; ``count`` may exceed the
+        number of recorded tasks (you get them all).  A negative
+        ``count`` is rejected — silently passing it to the slice would
+        drop the *slowest* tasks, the exact opposite of the question.
+        """
+        if count < 0:
+            raise ValueError(f"count cannot be negative, got {count}")
         spans = self.task_spans()
         ranked = sorted(
             ((layer, vertex, end - start)

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable, Protocol
 
 
@@ -21,6 +22,22 @@ class SupportsWatchdog(Protocol):
     """Budget checker accepted by :meth:`Simulator.run`."""
 
     def before_event(self, sim: "Simulator", event: "Event") -> None: ...
+
+
+class SupportsProfiler(Protocol):
+    """Wall-clock sampler accepted by :meth:`Simulator.run`.
+
+    Normally a :class:`repro.obs.profiler.KernelProfiler`.  The hooks see
+    *host* time only — attaching a profiler can never change simulated
+    timestamps, and when none is attached the run loop pays one
+    ``is not None`` check up front and nothing per event.
+    """
+
+    def after_event(
+        self, event: "Event", wall_s: float, queue_depth: int
+    ) -> None: ...
+
+    def add_run_wall(self, wall_s: float) -> None: ...
 
 
 def describe_callback(callback: Callable[..., None]) -> str:
@@ -138,6 +155,7 @@ class Simulator:
         until: float | None = None,
         max_events: int | None = None,
         watchdog: "SupportsWatchdog | None" = None,
+        profiler: "SupportsProfiler | None" = None,
     ) -> float:
         """Run events until the queue drains, ``until`` ns, or ``max_events``.
 
@@ -146,13 +164,18 @@ class Simulator:
         ``before_event(sim, event)`` method, normally a
         :class:`repro.sim.watchdog.Watchdog` — enforces hard budgets by
         raising on a trip, leaving the offending event queued so the
-        failure can be diagnosed.
+        failure can be diagnosed.  ``profiler`` — normally a
+        :class:`repro.obs.profiler.KernelProfiler` — samples handler
+        wall-clock time and queue depth to show where the *Python
+        simulator itself* spends time; it observes host time only and
+        cannot perturb simulated results.
 
         Returns the simulated time when the run stopped.
         """
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run)")
         self._running = True
+        run_start = perf_counter() if profiler is not None else 0.0
         try:
             fired = 0
             while self._queue:
@@ -167,7 +190,16 @@ class Simulator:
                     watchdog.before_event(self, event)
                 heapq.heappop(self._queue)
                 self._now = event.time
-                event.callback(*event.args)
+                if profiler is None:
+                    event.callback(*event.args)
+                else:
+                    handler_start = perf_counter()
+                    event.callback(*event.args)
+                    profiler.after_event(
+                        event,
+                        perf_counter() - handler_start,
+                        len(self._queue),
+                    )
                 self._events_fired += 1
                 fired += 1
                 if max_events is not None and fired >= max_events:
@@ -177,6 +209,8 @@ class Simulator:
                     self._now = until
         finally:
             self._running = False
+            if profiler is not None:
+                profiler.add_run_wall(perf_counter() - run_start)
         return self._now
 
     def step(self) -> bool:

@@ -49,6 +49,12 @@ class BusyTracker:
     Callers mark work with :meth:`occupy`, which extends the busy horizon;
     overlapping requests serialize, which is exactly the behaviour of a
     single shared resource (a DNA array, a memory channel, a NoC link).
+
+    An optional *span sink* (:meth:`attach_span_sink`) receives one
+    ``(request_ns, start_ns, finish_ns)`` record per grant, which is how
+    the observability layer (:mod:`repro.obs`) reconstructs busy- and
+    stall-spans for timeline export.  With no sink attached the tracker
+    does no extra work beyond one ``is not None`` check per grant.
     """
 
     def __init__(self) -> None:
@@ -56,6 +62,14 @@ class BusyTracker:
         self._busy_time = 0.0
         self._first_use: float | None = None
         self._last_use = 0.0
+        self._span_sink: list[tuple[float, float, float]] | None = None
+
+    def attach_span_sink(
+        self, sink: list[tuple[float, float, float]]
+    ) -> None:
+        """Record every future grant as ``(request, start, finish)`` into
+        ``sink`` (any object with ``append``)."""
+        self._span_sink = sink
 
     @property
     def busy_until(self) -> float:
@@ -83,6 +97,8 @@ class BusyTracker:
         if self._first_use is None:
             self._first_use = start
         self._last_use = finish
+        if self._span_sink is not None:
+            self._span_sink.append((now, start, finish))
         return start, finish
 
     def utilization(self, elapsed: float) -> float:

@@ -1,0 +1,141 @@
+"""Property tests for the observability invariants (Hypothesis).
+
+Driven with randomly generated grant sequences, the timeline layer must
+always satisfy:
+
+* the accounting identity — busy + stalled + idle == elapsed, with
+  utilization in ``[0, 1]`` and busy + stalled equal to the tracker's
+  own busy ledger;
+* snapshot merging — associative, and refusing key collisions instead
+  of shadowing;
+* Chrome export — every event carries the required keys, ``ts``/``dur``
+  are non-negative, and spans never overlap within one track.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import REQUIRED_TRACE_KEYS, Timeline, merge_snapshots
+from repro.sim.stats import BusyTracker
+
+#: A grant request as (gap since the previous request, service duration).
+_requests = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=64.0, allow_nan=False,
+                  allow_infinity=False),
+        st.floats(min_value=0.0, max_value=64.0, allow_nan=False,
+                  allow_infinity=False),
+    ),
+    max_size=40,
+)
+
+
+def _drive(timeline: Timeline, name: str, requests) -> BusyTracker:
+    """Replay a request sequence through a sinked tracker."""
+    tracker = BusyTracker()
+    tracker.attach_span_sink(timeline.track(name))
+    now = 0.0
+    for gap, duration in requests:
+        now += gap
+        tracker.occupy(now, duration)
+    return tracker
+
+
+def _elapsed(tracker: BusyTracker) -> float:
+    """An elapsed time that covers every span (plus idle tail)."""
+    return tracker.busy_until + 1.0
+
+
+@given(_requests)
+@settings(deadline=None)
+def test_accounting_identity(requests):
+    timeline = Timeline()
+    tracker = _drive(timeline, "unit", requests)
+    elapsed = _elapsed(tracker)
+    acc = timeline.accounting("unit", elapsed)
+    assert acc.busy_ns + acc.stalled_ns + acc.idle_ns == \
+        pytest.approx(elapsed, rel=1e-9, abs=1e-9)
+    assert acc.busy_ns >= 0
+    assert acc.stalled_ns >= 0
+    assert acc.idle_ns >= 0
+
+
+@given(_requests)
+@settings(deadline=None)
+def test_utilization_bounded_and_consistent(requests):
+    timeline = Timeline()
+    tracker = _drive(timeline, "unit", requests)
+    elapsed = _elapsed(tracker)
+    acc = timeline.accounting("unit", elapsed)
+    assert 0.0 <= acc.utilization <= 1.0
+    # busy + stalled re-partitions the tracker's own ledger exactly:
+    # spans are FIFO-serialized, so their union measures the busy sum.
+    assert acc.busy_ns + acc.stalled_ns == pytest.approx(
+        tracker.busy_time, rel=1e-9, abs=1e-6
+    )
+    assert acc.utilization == pytest.approx(
+        tracker.utilization(elapsed), rel=1e-9, abs=1e-9
+    )
+
+
+_entries = st.dictionaries(
+    st.text(st.characters(min_codepoint=33, max_codepoint=126),
+            min_size=1, max_size=8),
+    st.fixed_dictionaries({"busy_ns": st.floats(0, 1e6)}),
+    max_size=6,
+)
+
+
+@given(_entries)
+@settings(deadline=None)
+def test_merge_is_associative(entries):
+    names = sorted(entries)
+    a = {n: entries[n] for n in names[0::3]}
+    b = {n: entries[n] for n in names[1::3]}
+    c = {n: entries[n] for n in names[2::3]}
+    left = merge_snapshots(merge_snapshots(a, b), c)
+    right = merge_snapshots(a, merge_snapshots(b, c))
+    assert left == right
+    assert left == merge_snapshots(a, b, c)
+    assert left.keys() == entries.keys()
+
+
+@given(_entries)
+@settings(deadline=None)
+def test_merge_refuses_collisions(entries):
+    if not entries:
+        return
+    name = sorted(entries)[0]
+    colliding = {name: {"busy_ns": -1.0}}
+    with pytest.raises(ValueError):
+        merge_snapshots(entries, colliding)
+
+
+_multi_track = st.lists(
+    st.tuples(st.sampled_from(["dna", "gpe", "mem"]), _requests),
+    min_size=1, max_size=3,
+    unique_by=lambda track: track[0],  # one tracker per track, like a run
+)
+
+
+@given(_multi_track)
+@settings(deadline=None)
+def test_chrome_spans_well_formed(tracks):
+    timeline = Timeline()
+    for name, requests in tracks:
+        _drive(timeline, name, requests)
+    document = timeline.chrome_trace()
+    by_tid: dict[int, list] = {}
+    for event in document["traceEvents"]:
+        for key in REQUIRED_TRACE_KEYS:
+            assert key in event
+        assert event["ts"] >= 0
+        if event["ph"] == "X":
+            assert event["dur"] >= 0
+            by_tid.setdefault(event["tid"], []).append(event)
+    eps = 1e-6
+    for spans in by_tid.values():
+        spans.sort(key=lambda e: e["ts"])
+        for prev, nxt in zip(spans, spans[1:]):
+            assert nxt["ts"] >= prev["ts"] + prev["dur"] - eps

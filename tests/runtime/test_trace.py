@@ -75,6 +75,44 @@ def test_slowest_tasks_ranked(traced_run):
     assert durations == sorted(durations, reverse=True)
 
 
+class TestEmptyAndTinyTraces:
+    """Zero- and single-event traces: every query degrades gracefully."""
+
+    def test_empty_trace_queries(self):
+        tracer = Tracer()
+        assert len(tracer) == 0
+        assert tracer.events == []
+        assert tracer.for_vertex(0) == []
+        assert tracer.phase_counts() == {}
+        assert tracer.task_spans() == {}
+        assert tracer.slowest_tasks() == []
+        assert tracer.slowest_tasks(count=0) == []
+
+    def test_single_event_trace(self):
+        tracer = Tracer()
+        tracer.record(12.5, "gcn0.project", 7, "start", (0, 0))
+        assert len(tracer) == 1
+        assert tracer.for_vertex(7) == tracer.events
+        assert tracer.for_vertex(8) == []
+        assert tracer.phase_counts() == {"start": 1}
+        # A single event is a degenerate span: start == end, duration 0.
+        assert tracer.task_spans() == {("gcn0.project", 7): (12.5, 12.5)}
+        assert tracer.slowest_tasks() == [("gcn0.project", 7, 0.0)]
+        assert tracer.slowest_tasks(count=0) == []
+
+    def test_count_beyond_recorded_tasks_returns_all(self):
+        tracer = Tracer()
+        tracer.record(1.0, "l", 0, "start", (0, 0))
+        tracer.record(5.0, "l", 0, "finish", (0, 0))
+        assert tracer.slowest_tasks(count=100) == [("l", 0, 4.0)]
+
+    def test_negative_count_rejected(self):
+        tracer = Tracer()
+        tracer.record(1.0, "l", 0, "start", (0, 0))
+        with pytest.raises(ValueError, match="negative"):
+            tracer.slowest_tasks(count=-1)
+
+
 def test_untraced_engine_records_nothing():
     graph = citation_graph(10, 20, seed=1)
     graph.node_features = np.zeros((10, 4), dtype=np.float32)

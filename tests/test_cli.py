@@ -51,6 +51,23 @@ class TestParser:
         assert args.timeout == 30.0
         assert args.retries == 1
 
+    def test_profile_defaults(self):
+        args = build_parser().parse_args(["profile", "gcn-cora"])
+        assert args.benchmark == "gcn-cora"
+        assert args.config == "CPU iso-BW"
+        assert args.clock == 2.4
+        assert args.trace is None
+
+    def test_profile_arguments(self):
+        args = build_parser().parse_args(
+            ["profile", "gat-cora", "GPU iso-BW", "--clock", "1.2",
+             "--trace", "/tmp/out.json"]
+        )
+        assert args.benchmark == "gat-cora"
+        assert args.config == "GPU iso-BW"
+        assert args.clock == 1.2
+        assert args.trace == "/tmp/out.json"
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -99,6 +116,34 @@ class TestCommands:
     def test_simulate_unknown_benchmark(self):
         with pytest.raises(KeyError):
             main(["simulate", "bert-wikipedia"])
+
+    def test_profile_prints_breakdown_and_writes_trace(self, capsys,
+                                                       tmp_path):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["profile", "pgnn-dblp_1", "--trace",
+                     str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Utilization by unit class" in out
+        assert "dna" in out
+        assert "kernel:" in out and "events/s" in out
+        document = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert document["traceEvents"]
+
+    def test_profile_unknown_benchmark_exits_2(self, capsys):
+        code = main(["profile", "bert-wikipedia"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bert-wikipedia" in err
+        assert "gcn-cora" in err  # lists valid names
+
+    def test_profile_unknown_config_exits_2(self, capsys):
+        code = main(["profile", "gcn-cora", "TPU iso-BW"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "TPU iso-BW" in err
+        assert "CPU iso-BW" in err
 
     def test_sweep_scoped_grid(self, capsys, tmp_path):
         from repro.exp.cache import clear_memo
