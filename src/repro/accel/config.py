@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.dataflow.spatial import EYERISS_CONFIG, SpatialArrayConfig
+from repro.noc.backends import default_backend_name, validate_backend
 from repro.noc.config import NOC_CONFIG, NocConfig
 from repro.noc.topology import Coord
 from repro.sim.watchdog import WatchdogConfig
@@ -122,6 +124,12 @@ class AcceleratorConfig:
     # memory bandwidth".  At 2.4 GHz a 64B link moves 153.6 GBps, so one
     # mesh link comfortably carries a 68 GBps memory channel.
     noc: NocConfig = NocConfig(clock_ghz=2.4)
+    # Which repro.noc.backends model resolves NoC delivery times:
+    # "packet" (default), "flit", or "analytical".  The default factory
+    # honours $REPRO_NOC_BACKEND at construction time, so the *resolved*
+    # name is what the result-cache fingerprint hashes — runs under
+    # different backends never share cache entries.
+    noc_backend: str = field(default_factory=default_backend_name)
     clock_ghz: float = 2.4
     # Execution budgets for runs of this configuration.  Budgets bound
     # *termination*, never results: a run either completes (identically,
@@ -138,6 +146,7 @@ class AcceleratorConfig:
         for x, y in occupied:
             if not (0 <= x < self.mesh_width and 0 <= y < self.mesh_height):
                 raise ValueError(f"coordinate ({x},{y}) outside mesh")
+        validate_backend(self.noc_backend)
 
     @property
     def num_tiles(self) -> int:
@@ -159,18 +168,16 @@ class AcceleratorConfig:
 
     def with_clock(self, clock_ghz: float) -> "AcceleratorConfig":
         """The same configuration at a different tile clock."""
-        return AcceleratorConfig(
-            name=self.name,
-            mesh_width=self.mesh_width,
-            mesh_height=self.mesh_height,
-            tile_coords=self.tile_coords,
-            memory_coords=self.memory_coords,
-            tile=self.tile,
-            memory=self.memory,
-            noc=self.noc,
-            clock_ghz=clock_ghz,
-            watchdog=self.watchdog,
-        )
+        return dataclasses.replace(self, clock_ghz=clock_ghz)
+
+    def with_noc_backend(self, noc_backend: str) -> "AcceleratorConfig":
+        """The same configuration on a different NoC backend.
+
+        Backend names are validated on construction, so an unknown name
+        raises :class:`repro.noc.backends.UnknownBackendError` listing
+        the registered backends.
+        """
+        return dataclasses.replace(self, noc_backend=noc_backend)
 
 
 #: Table VI row 1: one tile and one memory node, 68 GBps (CPU-matched).

@@ -15,7 +15,8 @@ AGG ALU op (per value)     1.2 pJ      ``Aggregator.stats["values"]``
 GPE instruction            25 pJ       ``GraphPE.stats["instructions"]``
 DRAM access (per byte)     60 pJ       ``MemoryController`` serviced bytes
                                        (alignment waste included!)
-NoC flit-hop (64B)         40 pJ       ``PacketNetwork.stats["flit_hops"]``
+NoC flit-hop (64B)         40 pJ       ``NocModel.stats["flit_hops"]``
+                                       (every backend records it)
 Scratchpad (per byte)      1.0 pJ      DNQ/AGG traffic ~ NoC bytes
 ========================  ==========  =================================
 

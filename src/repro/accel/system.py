@@ -6,7 +6,8 @@ from repro.accel.config import AcceleratorConfig
 from repro.accel.memory import MemoryController
 from repro.accel.placement import Placement, RoundRobinPlacement
 from repro.accel.tile import Tile
-from repro.noc.fastmodel import PacketNetwork
+from repro.noc.backends import create_backend
+from repro.noc.model import NocModel
 from repro.noc.topology import Coord, Mesh
 from repro.sim.clock import Clock
 from repro.sim.kernel import Simulator
@@ -15,24 +16,33 @@ from repro.sim.kernel import Simulator
 class Accelerator:
     """An instantiated Table VI configuration ready to simulate.
 
-    Owns the event kernel, the NoC contention model, one :class:`Tile`
-    per tile coordinate, and one :class:`MemoryController` per memory
+    Owns the event kernel, the NoC model, one :class:`Tile` per tile
+    coordinate, and one :class:`MemoryController` per memory
     coordinate.  Vertices are spread across tiles (owner tile) and
     memory nodes (backing store) by the :class:`Placement` policy —
     by default the paper-style round-robin interleave, which is how the
     multi-tile configurations spread both compute and bandwidth.
+
+    The interconnect is any :class:`~repro.noc.model.NocModel`: built by
+    the :mod:`repro.noc.backends` registry from ``config.noc_backend``
+    ("packet" by default), or injected directly via ``noc`` (tests and
+    custom backends).
     """
 
     def __init__(
         self,
         config: AcceleratorConfig,
         placement: Placement | None = None,
+        noc: NocModel | None = None,
     ) -> None:
         self.config = config
         self.sim = Simulator()
         self.clock = Clock(config.clock_ghz)
         mesh = Mesh(config.mesh_width, config.mesh_height)
-        self.noc = PacketNetwork(mesh, config.noc)
+        self.noc: NocModel = (
+            noc if noc is not None
+            else create_backend(config.noc_backend, mesh, config.noc)
+        )
         self.tiles = [
             Tile(self.sim, coord, config.tile, self.clock)
             for coord in config.tile_coords

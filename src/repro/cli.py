@@ -8,6 +8,8 @@ Usage::
     python -m repro simulate gcn-cora --config "GPU iso-BW" --clock 1.2
     python -m repro profile gcn-cora --trace trace.json  # observability
     python -m repro sweep --jobs 4       # Figure 8 grid, parallel + cached
+    python -m repro noc-backends         # NoC fidelity models
+    python -m repro sweep --noc-backend analytical   # fast, zero-contention
 """
 
 from __future__ import annotations
@@ -21,14 +23,49 @@ from repro.eval.report import format_table
 def _cmd_list(_args) -> None:
     print("artifacts: table1 table2 figure2 table3 table4 table5 table6 "
           "table7 figure8 figure9 figure10 energy")
-    print("commands:  simulate <benchmark> [--config NAME] [--clock GHZ]")
+    print("commands:  simulate <benchmark> [--config NAME] [--clock GHZ]"
+          " [--noc-backend NAME]")
     print("           profile <benchmark> [CONFIG] [--clock GHZ]"
-          " [--trace PATH]")
+          " [--trace PATH] [--noc-backend NAME]")
     print("           sweep [--jobs N] [--benchmarks ...] [--configs ...]"
-          " [--clocks ...]")
+          " [--clocks ...] [--noc-backend NAME]")
+    print("           noc-backends")
     from repro.models import BENCHMARKS
+    from repro.noc.backends import backend_names
 
     print(f"benchmarks: {' '.join(b.key for b in BENCHMARKS)}")
+    print(f"noc backends: {' '.join(backend_names())}")
+
+
+def _cmd_noc_backends(_args) -> None:
+    from repro.noc.backends import DEFAULT_BACKEND, available_backends
+
+    print(format_table(
+        ["Backend", "Fidelity"],
+        [
+            (info.name + (" (default)" if info.name == DEFAULT_BACKEND
+                          else ""),
+             info.fidelity)
+            for info in available_backends()
+        ],
+        title="NoC backends",
+    ))
+    print("select with --noc-backend NAME, AcceleratorConfig(noc_backend=...)"
+          ", or $REPRO_NOC_BACKEND")
+
+
+def _validate_backend_arg(command: str, name: str | None) -> int | None:
+    """Print a one-line error and return 2 for an unknown backend name."""
+    from repro.noc.backends import UnknownBackendError, validate_backend
+
+    if name is None:
+        return None
+    try:
+        validate_backend(name)
+    except UnknownBackendError as exc:
+        print(f"repro {command}: {exc}", file=sys.stderr)
+        return 2
+    return None
 
 
 def _cmd_config_table(name: str) -> None:
@@ -186,12 +223,16 @@ def _cmd_sweep(args) -> int:
     if error is not None:
         print(f"repro sweep: {error}", file=sys.stderr)
         return 2
+    code = _validate_backend_arg("sweep", args.noc_backend)
+    if code is not None:
+        return code
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     points = figure8_points(
         benchmarks=tuple(args.benchmarks) or None,
         clocks=tuple(args.clocks),
         configs=tuple(args.configs) or None,
+        noc_backend=args.noc_backend,
     )
     jobs = args.jobs if args.jobs is not None else default_jobs()
     policy = RetryPolicy.from_env(
@@ -248,12 +289,16 @@ def _cmd_profile(args) -> int:
     except KeyError as exc:
         print(f"repro profile: {exc.args[0]}", file=sys.stderr)
         return 2
+    code = _validate_backend_arg("profile", args.noc_backend)
+    if code is not None:
+        return code
 
     from repro.eval.accelerator import run_benchmark
 
     observer = Observer()
     report = run_benchmark(
-        args.benchmark, args.config, args.clock, observer=observer
+        args.benchmark, args.config, args.clock, observer=observer,
+        noc_backend=args.noc_backend,
     )
     print(f"{report.benchmark} on {report.config_name} @ "
           f"{report.clock_ghz} GHz: {report.latency_ms:.3f} ms")
@@ -293,10 +338,15 @@ def _cmd_profile(args) -> int:
     return 0
 
 
-def _cmd_simulate(args) -> None:
+def _cmd_simulate(args) -> int:
+    code = _validate_backend_arg("simulate", args.noc_backend)
+    if code is not None:
+        return code
+
     from repro.eval.accelerator import run_benchmark
 
-    report = run_benchmark(args.benchmark, args.config, args.clock)
+    report = run_benchmark(args.benchmark, args.config, args.clock,
+                           noc_backend=args.noc_backend)
     print(f"{report.benchmark} on {report.config_name} @ "
           f"{report.clock_ghz} GHz")
     print(f"  latency: {report.latency_ms:.3f} ms")
@@ -308,6 +358,7 @@ def _cmd_simulate(args) -> None:
     print(f"  GPE utilization: {report.gpe_utilization:.0%}")
     for layer in report.layers:
         print(f"    {layer.name:24s} {layer.latency_ns / 1e3:10.1f} us")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -328,10 +379,19 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("figure9", help="mesh topologies")
     sub.add_parser("figure10", help="utilizations")
     sub.add_parser("energy", help="energy extension table")
+    sub.add_parser(
+        "noc-backends",
+        help="list registered NoC backends with fidelity notes",
+    )
     simulate = sub.add_parser("simulate", help="simulate one benchmark")
     simulate.add_argument("benchmark", help="e.g. gcn-cora")
     simulate.add_argument("--config", default="CPU iso-BW")
     simulate.add_argument("--clock", type=float, default=2.4)
+    simulate.add_argument(
+        "--noc-backend", default=None, metavar="NAME",
+        help="NoC model: packet (default), flit, analytical — see "
+             "'repro noc-backends'",
+    )
     profile = sub.add_parser(
         "profile",
         help="simulate one benchmark with full observability attached",
@@ -345,6 +405,11 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument(
         "--trace", default=None, metavar="PATH",
         help="write a Chrome trace_event JSON timeline to PATH",
+    )
+    profile.add_argument(
+        "--noc-backend", default=None, metavar="NAME",
+        help="NoC model: packet (default), flit, analytical — see "
+             "'repro noc-backends'",
     )
     sweep = sub.add_parser(
         "sweep",
@@ -385,6 +450,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts after a worker crash "
              "(default: $REPRO_SWEEP_RETRIES or 2)",
     )
+    sweep.add_argument(
+        "--noc-backend", default=None, metavar="NAME",
+        help="NoC model for every point: packet (default), flit, "
+             "analytical — part of the cache key",
+    )
     return parser
 
 
@@ -392,6 +462,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
+        "noc-backends": _cmd_noc_backends,
         "table2": _cmd_table2,
         "figure2": _cmd_figure2,
         "table7": _cmd_table7,

@@ -97,6 +97,7 @@ def run_benchmark(
     config_name: str = "CPU iso-BW",
     clock_ghz: float = 2.4,
     observer: "Observer | None" = None,
+    noc_backend: str | None = None,
 ) -> SimulationReport:
     """Simulate one benchmark on one Table VI configuration.
 
@@ -104,9 +105,15 @@ def run_benchmark(
     utilizations) share simulations of the same operating point through
     the process memo and the persistent store.  ``observer`` attaches
     the :mod:`repro.obs` layer (forcing a real simulation; the cache key
-    is unchanged).
+    is unchanged).  ``noc_backend`` selects a registered
+    :mod:`repro.noc.backends` model by name; ``None`` keeps the
+    configuration's own (default: ``"packet"``, or
+    ``$REPRO_NOC_BACKEND``).  The backend is part of the cache
+    fingerprint, so fidelities never share cached reports.
     """
     config = _config_by_name(config_name).with_clock(clock_ghz)
+    if noc_backend is not None:
+        config = config.with_noc_backend(noc_backend)
     return run_config(benchmark_key, config, observer=observer)
 
 

@@ -114,6 +114,7 @@ def tile_sweep(
             tile=template.tile,
             memory=template.memory,
             noc=template.noc,
+            noc_backend=template.noc_backend,
             clock_ghz=template.clock_ghz,
         )
         for pairs in tile_counts

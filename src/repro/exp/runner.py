@@ -670,15 +670,29 @@ def figure8_points(
     benchmarks: Sequence[str] | None = None,
     clocks: Sequence[float] = FIGURE8_CLOCKS,
     configs: Sequence[str] | None = None,
+    noc_backend: str | None = None,
 ) -> list[Point]:
-    """The Figure 8 sweep grid: configs x benchmarks x clocks."""
+    """The Figure 8 sweep grid: configs x benchmarks x clocks.
+
+    ``noc_backend`` pins every point to one registered NoC backend;
+    ``None`` keeps each configuration's own (the ``"packet"`` default,
+    or ``$REPRO_NOC_BACKEND``).  The backend name is part of each
+    point's cache key.
+    """
     from repro.eval.accelerator import _config_by_name
     from repro.models.registry import BENCHMARKS
 
     keys = tuple(benchmarks or (b.key for b in BENCHMARKS))
     names = tuple(configs or (group[0] for group in FIGURE8_GROUPS))
+
+    def resolve(name: str) -> AcceleratorConfig:
+        config = _config_by_name(name)
+        if noc_backend is not None:
+            config = config.with_noc_backend(noc_backend)
+        return config
+
     return [
-        Point(key, _config_by_name(name), clock)
+        Point(key, resolve(name), clock)
         for name in names
         for key in keys
         for clock in clocks

@@ -10,60 +10,26 @@ for its serialization time, and overlapping packets queue FIFO.
 Pipelining is preserved: a packet's head proceeds hop by hop while its
 tail is still serializing, so the zero-load latency matches the wormhole
 model: ``hops * hop_cycles + (flits - 1)`` cycles.
+
+This is the default :class:`~repro.noc.model.NocModel` backend
+(``"packet"`` in :mod:`repro.noc.backends`); the link bookkeeping —
+fault blackouts, stalled-link diagnosis, utilization reporting, the
+observability listener — lives in the shared
+:class:`~repro.noc.links.LinkLedgerBase`.
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
-from repro.noc.config import NocConfig, NOC_CONFIG
-from repro.noc.topology import Coord, Mesh
-from repro.sim.stats import BusyTracker, StatSet
+from repro.noc.links import LinkLedgerBase
+from repro.noc.topology import Coord
 
 
-class PacketNetwork:
+class PacketNetwork(LinkLedgerBase):
     """Fast contention model over a 2D mesh.
 
     All times are in nanoseconds so the model plugs directly into the
     event-driven accelerator simulation.
     """
-
-    def __init__(self, mesh: Mesh, config: NocConfig = NOC_CONFIG) -> None:
-        self.mesh = mesh
-        self.config = config
-        self._links: dict[tuple[Coord, Coord], BusyTracker] = {}
-        self._tracker_listener: (
-            Callable[[tuple[Coord, Coord], BusyTracker], None] | None
-        ) = None
-        self.stats = StatSet()
-
-    def _link(self, src: Coord, dst: Coord) -> BusyTracker:
-        key = (src, dst)
-        tracker = self._links.get(key)
-        if tracker is None:
-            tracker = BusyTracker()
-            self._links[key] = tracker
-            if self._tracker_listener is not None:
-                self._tracker_listener(key, tracker)
-        return tracker
-
-    def attach_tracker_listener(
-        self,
-        listener: Callable[[tuple[Coord, Coord], BusyTracker], None],
-    ) -> None:
-        """Call ``listener(link, tracker)`` for every directed link.
-
-        Links are created lazily on first use, so the observability layer
-        cannot enumerate them up front; the listener fires immediately for
-        links that already exist and again whenever a new one appears.
-        Costs one ``is not None`` check per link *creation* (not per
-        packet) when nothing is attached.
-        """
-        if self._tracker_listener is not None:
-            raise RuntimeError("a tracker listener is already attached")
-        self._tracker_listener = listener
-        for key, tracker in self._links.items():
-            listener(key, tracker)
 
     def delivery_time(
         self,
@@ -101,50 +67,3 @@ class PacketNetwork:
             head = granted_start + hop
         # The tail follows the head by the remaining serialization time.
         return head + (flits - 1) * cycle
-
-    # -- reporting ---------------------------------------------------------
-
-    @property
-    def links_used(self) -> int:
-        """Number of directed links that carried at least one packet."""
-        return len(self._links)
-
-    def reserve_link(
-        self, src: Coord, dst: Coord, start_ns: float, duration_ns: float
-    ) -> None:
-        """Occupy one directed link for a blackout interval.
-
-        Fault-injection hook: packets routed over the link after the
-        reservation queue behind it (FIFO), exactly as if the router were
-        wedged for ``duration_ns``.
-        """
-        self.mesh.validate_node(src)
-        self.mesh.validate_node(dst)
-        self._link(src, dst).occupy(start_ns, duration_ns)
-
-    def stalled_links(
-        self, now_ns: float, horizon_ns: float
-    ) -> list[tuple[tuple[Coord, Coord], float]]:
-        """Directed links reserved further than ``horizon_ns`` past ``now_ns``.
-
-        A link busy that far into the future is wedged, not contended —
-        used by watchdog diagnoses to name the stuck component.
-        """
-        return [
-            (link, tracker.busy_until)
-            for link, tracker in self._links.items()
-            if tracker.busy_until > now_ns + horizon_ns
-        ]
-
-    def link_utilization(self, elapsed_ns: float) -> dict[tuple[Coord, Coord], float]:
-        """Busy fraction of every used link over ``elapsed_ns``."""
-        return {
-            link: tracker.utilization(elapsed_ns)
-            for link, tracker in self._links.items()
-        }
-
-    def max_link_utilization(self, elapsed_ns: float) -> float:
-        """Utilization of the hottest link (0.0 if nothing was sent)."""
-        if not self._links:
-            return 0.0
-        return max(self.link_utilization(elapsed_ns).values())

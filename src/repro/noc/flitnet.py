@@ -28,7 +28,7 @@ from dataclasses import dataclass
 
 from repro.noc.config import NocConfig, NOC_CONFIG
 from repro.noc.packet import Packet
-from repro.noc.topology import Coord, Mesh
+from repro.noc.topology import Coord, Mesh, step, xy_direction
 
 _DIRECTIONS = ("E", "W", "N", "S", "L")
 _OPPOSITE = {"E": "W", "W": "E", "N": "S", "S": "N"}
@@ -101,27 +101,17 @@ class _Router:
         self.rr_vc = {d: 0 for d in _DIRECTIONS}
 
     def output_for(self, dst: Coord) -> str:
-        """XY routing decision for a flit parked at this router."""
-        x, y = self.coord
-        if dst[0] > x:
-            return "E"
-        if dst[0] < x:
-            return "W"
-        if dst[1] > y:
-            return "S"
-        if dst[1] < y:
-            return "N"
-        return "L"
+        """XY routing decision for a flit parked at this router.
+
+        Delegates to the shared :func:`repro.noc.topology.xy_direction`
+        so the flit-level route can never diverge from the link sequence
+        the packet/analytical models reserve (``Mesh.route_links``).
+        """
+        return xy_direction(self.coord, dst)
 
 
 def _neighbor(coord: Coord, direction: str) -> Coord:
-    x, y = coord
-    return {
-        "E": (x + 1, y),
-        "W": (x - 1, y),
-        "S": (x, y + 1),
-        "N": (x, y - 1),
-    }[direction]
+    return step(coord, direction)
 
 
 class FlitNetwork:

@@ -1,0 +1,105 @@
+"""Per-link ledger bookkeeping shared by every NoC backend.
+
+Each directed mesh link is represented by one lazily-created
+:class:`~repro.sim.stats.BusyTracker`.  This base class owns that map
+and implements the protocol members that are pure bookkeeping — fault
+blackouts (:meth:`reserve_link`), wedge detection
+(:meth:`stalled_links`), utilization reporting, and the observability
+listener hook — so the backends differ only in how
+:meth:`~repro.noc.model.NocModel.delivery_time` spends time on those
+ledgers (FIFO reservations, flit simulation, or a closed form).
+"""
+
+from __future__ import annotations
+
+from repro.noc.config import NocConfig, NOC_CONFIG
+from repro.noc.model import TrackerListener
+from repro.noc.topology import Coord, Mesh
+from repro.sim.stats import BusyTracker, StatSet
+
+
+class LinkLedgerBase:
+    """Directed-link tracker map plus the bookkeeping protocol members.
+
+    All times are in nanoseconds so subclasses plug directly into the
+    event-driven accelerator simulation.
+    """
+
+    def __init__(self, mesh: Mesh, config: NocConfig = NOC_CONFIG) -> None:
+        self.mesh = mesh
+        self.config = config
+        self._links: dict[tuple[Coord, Coord], BusyTracker] = {}
+        self._tracker_listener: TrackerListener | None = None
+        self.stats = StatSet()
+
+    def _link(self, src: Coord, dst: Coord) -> BusyTracker:
+        key = (src, dst)
+        tracker = self._links.get(key)
+        if tracker is None:
+            tracker = BusyTracker()
+            self._links[key] = tracker
+            if self._tracker_listener is not None:
+                self._tracker_listener(key, tracker)
+        return tracker
+
+    def attach_tracker_listener(self, listener: TrackerListener) -> None:
+        """Call ``listener(link, tracker)`` for every directed link.
+
+        Links are created lazily on first use, so the observability layer
+        cannot enumerate them up front; the listener fires immediately for
+        links that already exist and again whenever a new one appears.
+        Costs one ``is not None`` check per link *creation* (not per
+        packet) when nothing is attached.
+        """
+        if self._tracker_listener is not None:
+            raise RuntimeError("a tracker listener is already attached")
+        self._tracker_listener = listener
+        for key, tracker in self._links.items():
+            listener(key, tracker)
+
+    @property
+    def links_used(self) -> int:
+        """Number of directed links that carried at least one packet."""
+        return len(self._links)
+
+    def reserve_link(
+        self, src: Coord, dst: Coord, start_ns: float, duration_ns: float
+    ) -> None:
+        """Occupy one directed link for a blackout interval.
+
+        Fault-injection hook: packets routed over the link after the
+        reservation are delayed behind it, exactly as if the router were
+        wedged for ``duration_ns``.
+        """
+        self.mesh.validate_node(src)
+        self.mesh.validate_node(dst)
+        self._link(src, dst).occupy(start_ns, duration_ns)
+
+    def stalled_links(
+        self, now_ns: float, horizon_ns: float
+    ) -> list[tuple[tuple[Coord, Coord], float]]:
+        """Directed links reserved further than ``horizon_ns`` past ``now_ns``.
+
+        A link busy that far into the future is wedged, not contended —
+        used by watchdog diagnoses to name the stuck component.
+        """
+        return [
+            (link, tracker.busy_until)
+            for link, tracker in self._links.items()
+            if tracker.busy_until > now_ns + horizon_ns
+        ]
+
+    def link_utilization(
+        self, elapsed_ns: float
+    ) -> dict[tuple[Coord, Coord], float]:
+        """Busy fraction of every used link over ``elapsed_ns``."""
+        return {
+            link: tracker.utilization(elapsed_ns)
+            for link, tracker in self._links.items()
+        }
+
+    def max_link_utilization(self, elapsed_ns: float) -> float:
+        """Utilization of the hottest link (0.0 if nothing was sent)."""
+        if not self._links:
+            return 0.0
+        return max(self.link_utilization(elapsed_ns).values())

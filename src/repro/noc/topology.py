@@ -6,6 +6,44 @@ from dataclasses import dataclass
 
 Coord = tuple[int, int]
 
+#: Mesh port directions and their unit steps in mesh coordinates.  ``L``
+#: is the local (ejection) port.  Both NoC models route with these: the
+#: flit-level router picks one output port per hop and the packet/
+#: analytical models expand the whole path — from the same table, so the
+#: two can never disagree on a route (``tests/noc/test_backends.py``
+#: walks every 4x4 src/dst pair both ways).
+DIRECTION_STEPS: dict[str, Coord] = {
+    "E": (1, 0),
+    "W": (-1, 0),
+    "S": (0, 1),
+    "N": (0, -1),
+}
+
+
+def xy_direction(at: Coord, dst: Coord) -> str:
+    """Dimension-ordered (X-first) output direction from ``at`` toward ``dst``.
+
+    Returns ``"L"`` when ``at`` is the destination.  This single decision
+    function defines XY routing for every NoC model; taking one hop in
+    the returned direction and recursing yields exactly :func:`xy_route`.
+    """
+    x, y = at
+    if dst[0] > x:
+        return "E"
+    if dst[0] < x:
+        return "W"
+    if dst[1] > y:
+        return "S"
+    if dst[1] < y:
+        return "N"
+    return "L"
+
+
+def step(at: Coord, direction: str) -> Coord:
+    """The coordinate one hop from ``at`` in ``direction``."""
+    dx, dy = DIRECTION_STEPS[direction]
+    return (at[0] + dx, at[1] + dy)
+
 
 @dataclass(frozen=True)
 class Mesh:
@@ -44,6 +82,14 @@ class Mesh:
         """Directed links of the minimal dimension-ordered route."""
         return route_links(src, dst)
 
+    def distance(self, src: Coord, dst: Coord) -> int:
+        """Hop count of the minimal route (``len(route_links(...))``).
+
+        O(1); the analytical NoC backend's hot path uses it to avoid
+        materialising the route.
+        """
+        return abs(dst[0] - src[0]) + abs(dst[1] - src[1])
+
 
 @dataclass(frozen=True)
 class Torus(Mesh):
@@ -79,6 +125,16 @@ class Torus(Mesh):
             current = nxt
         return links
 
+    def distance(self, src: Coord, dst: Coord) -> int:
+        """Hop count taking the shorter way around each ring."""
+        return sum(
+            min((end - begin) % size, (begin - end) % size)
+            for begin, end, size in (
+                (src[0], dst[0], self.width),
+                (src[1], dst[1], self.height),
+            )
+        )
+
     def neighbors(self, node: Coord) -> list[Coord]:
         """Ring-adjacent coordinates (always four when size > 2)."""
         x, y = node
@@ -99,15 +155,10 @@ def xy_route(src: Coord, dst: Coord) -> list[Coord]:
     mesh is deadlock free, which the flit-level tests rely on.
     """
     path = [src]
-    x, y = src
-    dx = 1 if dst[0] > x else -1
-    while x != dst[0]:
-        x += dx
-        path.append((x, y))
-    dy = 1 if dst[1] > y else -1
-    while y != dst[1]:
-        y += dy
-        path.append((x, y))
+    at = src
+    while (direction := xy_direction(at, dst)) != "L":
+        at = step(at, direction)
+        path.append(at)
     return path
 
 

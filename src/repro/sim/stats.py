@@ -101,6 +101,26 @@ class BusyTracker:
             self._span_sink.append((now, start, finish))
         return start, finish
 
+    def record_span(self, now: float, start: float, finish: float) -> None:
+        """Account a busy span without serializing behind it.
+
+        Unlike :meth:`occupy`, the busy horizon (``busy_until``) does not
+        advance, so later callers are never queued behind the span — the
+        contention-free bookkeeping the analytical NoC backend needs to
+        report utilization and feed the observability timeline while
+        keeping its zero-contention delivery model.  ``busy_until`` still
+        moves only through :meth:`occupy` (e.g. fault blackouts), which
+        keeps :func:`stalled_links`-style wedge detection meaningful.
+        """
+        if finish < start:
+            raise ValueError("span cannot end before it starts")
+        self._busy_time += finish - start
+        if self._first_use is None:
+            self._first_use = start
+        self._last_use = max(self._last_use, finish)
+        if self._span_sink is not None:
+            self._span_sink.append((now, start, finish))
+
     def utilization(self, elapsed: float) -> float:
         """Fraction of ``elapsed`` time the resource spent busy."""
         if elapsed <= 0:

@@ -80,6 +80,11 @@ class TestPointKey:
         "noc": lambda c: dataclasses.replace(
             c, noc=dataclasses.replace(c.noc, num_vcs=c.noc.num_vcs + 1)
         ),
+        # Backends answer delivery times at different fidelities, so two
+        # backends sharing a cache entry would be cache poisoning.
+        "noc_backend": lambda c: c.with_noc_backend(
+            "analytical" if c.noc_backend != "analytical" else "packet"
+        ),
         "clock_ghz": lambda c: c.with_clock(c.clock_ghz / 2),
     }
 

@@ -30,7 +30,11 @@ def _observed_fixed_seed_run() -> Observer:
     graph.node_features = np.zeros((24, 8), dtype=np.float32)
     program = compile_model(GCN(8, 8, 4), graph)
     observer = Observer()
-    RuntimeEngine(Accelerator(CPU_ISO_BW), observer=observer).run(program)
+    # The golden shape (and the span-disjointness invariant) describe the
+    # packet model's serialized link reservations, so pin the backend —
+    # the analytical smoke lane sets $REPRO_NOC_BACKEND.
+    config = CPU_ISO_BW.with_noc_backend("packet")
+    RuntimeEngine(Accelerator(config), observer=observer).run(program)
     return observer
 
 

@@ -68,6 +68,21 @@ class TestParser:
         assert args.clock == 1.2
         assert args.trace == "/tmp/out.json"
 
+    def test_noc_backend_flag_everywhere(self):
+        parser = build_parser()
+        for argv in (
+            ["simulate", "gcn-cora", "--noc-backend", "flit"],
+            ["profile", "gcn-cora", "--noc-backend", "flit"],
+            ["sweep", "--noc-backend", "flit"],
+        ):
+            assert parser.parse_args(argv).noc_backend == "flit"
+
+    def test_noc_backend_defaults_to_none(self):
+        # None defers to the config (and thus $REPRO_NOC_BACKEND).
+        assert build_parser().parse_args(
+            ["simulate", "gcn-cora"]
+        ).noc_backend is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -181,6 +196,50 @@ class TestCommands:
         err = capsys.readouterr().err
         assert "TPU iso-BW" in err
         assert "CPU iso-BW" in err
+
+    def test_noc_backends_lists_fidelity_notes(self, capsys):
+        assert main(["noc-backends"]) == 0
+        out = capsys.readouterr().out
+        for name in ("packet", "flit", "analytical"):
+            assert name in out
+        assert "(default)" in out
+        assert "zero-contention" in out  # a fidelity note, not just names
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "gcn-cora", "--noc-backend", "booksim"],
+        ["profile", "gcn-cora", "--noc-backend", "booksim"],
+        ["sweep", "--noc-backend", "booksim"],
+    ])
+    def test_unknown_noc_backend_exits_2(self, argv, capsys):
+        code = main(argv)
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, before any simulation
+        assert "booksim" in err
+        for name in ("packet", "flit", "analytical"):
+            assert name in err  # lists the valid names
+
+    def test_simulate_on_analytical_backend(self, capsys):
+        assert main(["simulate", "pgnn-dblp_1",
+                     "--noc-backend", "analytical"]) == 0
+        assert "latency" in capsys.readouterr().out
+
+    def test_profile_trace_works_on_any_backend(self, capsys, tmp_path):
+        """Satellite contract: span-sink reporting rides the protocol, so
+        --trace produces a NoC timeline for a non-default backend too."""
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main(["profile", "pgnn-dblp_1", "--noc-backend", "analytical",
+                     "--trace", str(trace_path)]) == 0
+        assert "Utilization by unit class" in capsys.readouterr().out
+        document = json.loads(trace_path.read_text(encoding="utf-8"))
+        tracks = {
+            (event.get("args") or {}).get("name")
+            for event in document["traceEvents"]
+            if event.get("ph") == "M"
+        }
+        assert any(str(track).startswith("noc/link/") for track in tracks)
 
     def test_sweep_failure_exits_1(self, capsys, monkeypatch):
         """A sweep with failed points prints their summary and exits 1."""
