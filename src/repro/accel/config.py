@@ -222,3 +222,20 @@ CONFIGURATIONS: tuple[AcceleratorConfig, ...] = (
     GPU_ISO_BW,
     GPU_ISO_FLOPS,
 )
+
+#: The same configurations keyed by name, for O(1) resolution.
+CONFIGURATIONS_BY_NAME: dict[str, AcceleratorConfig] = {
+    c.name: c for c in CONFIGURATIONS
+}
+
+
+def configuration_by_name(name: str) -> AcceleratorConfig:
+    """Resolve a Table VI configuration name; unknown names raise a
+    :class:`KeyError` that lists every valid name."""
+    try:
+        return CONFIGURATIONS_BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown configuration {name!r}; available: "
+            f"{[c.name for c in CONFIGURATIONS]}"
+        ) from None

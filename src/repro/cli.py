@@ -10,6 +10,9 @@ Usage::
     python -m repro sweep --jobs 4       # Figure 8 grid, parallel + cached
     python -m repro noc-backends         # NoC fidelity models
     python -m repro sweep --noc-backend analytical   # fast, zero-contention
+    python -m repro systems              # registered execution systems
+    python -m repro simulate gcn-cora --system cpu   # baseline backends
+    python -m repro compare gcn-cora     # cross-system speedup table
 """
 
 from __future__ import annotations
@@ -23,17 +26,21 @@ from repro.eval.report import format_table
 def _cmd_list(_args) -> None:
     print("artifacts: table1 table2 figure2 table3 table4 table5 table6 "
           "table7 figure8 figure9 figure10 energy")
-    print("commands:  simulate <benchmark> [--config NAME] [--clock GHZ]"
-          " [--noc-backend NAME]")
-    print("           profile <benchmark> [CONFIG] [--clock GHZ]"
-          " [--trace PATH] [--noc-backend NAME]")
-    print("           sweep [--jobs N] [--benchmarks ...] [--configs ...]"
-          " [--clocks ...] [--noc-backend NAME]")
-    print("           noc-backends")
+    print("commands:  simulate <benchmark> [--system NAME] [--config NAME]"
+          " [--clock GHZ] [--noc-backend NAME]")
+    print("           profile <benchmark> [CONFIG] [--system NAME]"
+          " [--clock GHZ] [--trace PATH] [--noc-backend NAME]")
+    print("           sweep [--jobs N] [--system NAME] [--benchmarks ...]"
+          " [--configs ...] [--clocks ...] [--noc-backend NAME]")
+    print("           compare <benchmark> [--systems ...] [--clock GHZ]"
+          " [--output PATH]")
+    print("           systems noc-backends")
     from repro.models import BENCHMARKS
     from repro.noc.backends import backend_names
+    from repro.systems import system_names
 
     print(f"benchmarks: {' '.join(b.key for b in BENCHMARKS)}")
+    print(f"systems: {' '.join(system_names())}")
     print(f"noc backends: {' '.join(backend_names())}")
 
 
@@ -54,16 +61,57 @@ def _cmd_noc_backends(_args) -> None:
           ", or $REPRO_NOC_BACKEND")
 
 
-def _validate_backend_arg(command: str, name: str | None) -> int | None:
-    """Print a one-line error and return 2 for an unknown backend name."""
-    from repro.noc.backends import UnknownBackendError, validate_backend
+def _cmd_systems(_args) -> None:
+    from repro.systems import available_systems, default_system_name
 
-    if name is None:
-        return None
+    default = default_system_name()
+    print(format_table(
+        ["System", "Model"],
+        [
+            (info.name + (" (default)" if info.name == default else ""),
+             info.summary)
+            for info in available_systems()
+        ],
+        title="Execution systems",
+    ))
+    print("select with --system NAME, run_system(NAME, ...), or "
+          "$REPRO_SYSTEM")
+
+
+def _resolve_names(
+    command: str,
+    benchmark: str | None = None,
+    config: str | None = None,
+    system: str | None = None,
+    noc_backend: str | None = None,
+) -> int | None:
+    """Print a one-line error and return 2 for any unknown name.
+
+    The single source of truth for the CLI's "unknown name -> exit 2"
+    contract: benchmarks and configurations resolve through the same
+    dict-backed registry lookups every execution path uses
+    (:func:`repro.models.registry.benchmark_by_key`,
+    :func:`repro.accel.config.configuration_by_name`), execution systems
+    and NoC backends through their registries.  Runs before any
+    simulation or worker spawn, so a typo fails in milliseconds listing
+    the valid names.
+    """
+    from repro.accel.config import configuration_by_name
+    from repro.models.registry import benchmark_by_key
+    from repro.noc.backends import UnknownBackendError, validate_backend
+    from repro.systems import UnknownSystemError, validate_system
+
     try:
-        validate_backend(name)
-    except UnknownBackendError as exc:
-        print(f"repro {command}: {exc}", file=sys.stderr)
+        if benchmark is not None:
+            benchmark_by_key(benchmark)
+        if config is not None:
+            configuration_by_name(config)
+        if system is not None:
+            validate_system(system)
+        if noc_backend is not None:
+            validate_backend(noc_backend)
+    except (KeyError, UnknownSystemError, UnknownBackendError) as exc:
+        print(f"repro {command}: {exc.args[0]}", file=sys.stderr)
         return 2
     return None
 
@@ -208,32 +256,50 @@ def _validate_sweep_args(args) -> str | None:
     return None
 
 
+def _sweep_point_label(point) -> str:
+    if point.system != "accel":
+        return f"{point.benchmark_key:16s} {point.system:14s}"
+    config = point.resolved_config
+    return (f"{point.benchmark_key:16s} {config.name:14s} "
+            f"@{config.clock_ghz:g} GHz")
+
+
 def _cmd_sweep(args) -> int:
     import time
 
     from repro.exp.cache import ResultCache
     from repro.exp.runner import (
+        Point,
         RetryPolicy,
         default_jobs,
         figure8_points,
         run_sweep_detailed,
     )
+    from repro.systems import default_system_name
 
+    system = args.system or default_system_name()
     error = _validate_sweep_args(args)
     if error is not None:
         print(f"repro sweep: {error}", file=sys.stderr)
         return 2
-    code = _validate_backend_arg("sweep", args.noc_backend)
+    code = _resolve_names("sweep", system=system,
+                          noc_backend=args.noc_backend)
     if code is not None:
         return code
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    points = figure8_points(
-        benchmarks=tuple(args.benchmarks) or None,
-        clocks=tuple(args.clocks),
-        configs=tuple(args.configs) or None,
-        noc_backend=args.noc_backend,
-    )
+    if system == "accel":
+        points = figure8_points(
+            benchmarks=tuple(args.benchmarks) or None,
+            clocks=tuple(args.clocks),
+            configs=tuple(args.configs) or None,
+            noc_backend=args.noc_backend,
+        )
+    else:
+        from repro.models import BENCHMARKS
+
+        keys = tuple(args.benchmarks) or tuple(b.key for b in BENCHMARKS)
+        points = [Point(key, system=system) for key in keys]
     jobs = args.jobs if args.jobs is not None else default_jobs()
     policy = RetryPolicy.from_env(
         timeout_s=args.timeout, retries=args.retries
@@ -244,10 +310,16 @@ def _cmd_sweep(args) -> int:
         nonlocal hits
         hits += was_cached
         source = "cache" if was_cached else f"sim x{jobs}"
-        print(f"  [{source:>7s}] {point.benchmark_key:16s} "
-              f"{point.resolved_config.name:14s} "
-              f"@{point.resolved_config.clock_ghz:g} GHz: "
+        print(f"  [{source:>7s}] {_sweep_point_label(point)}: "
               f"{report.latency_ms:10.3f} ms")
+
+    def util(report, name: str) -> str:
+        if report is None:
+            return "-"
+        value = getattr(report, name, None)
+        if value is None:
+            value = getattr(report, "breakdown", {}).get(name)
+        return f"{value:.0%}" if value is not None else "-"
 
     start = time.perf_counter()
     outcome = run_sweep_detailed(
@@ -255,11 +327,12 @@ def _cmd_sweep(args) -> int:
     )
     elapsed = time.perf_counter() - start
     rows = [
-        (p.resolved_config.name, p.benchmark_key,
-         p.resolved_config.clock_ghz,
+        (p.resolved_config.name if p.system == "accel" else p.system,
+         p.benchmark_key,
+         p.resolved_config.clock_ghz if p.system == "accel" else "-",
          r.latency_ms if r is not None else "FAILED",
-         f"{r.bandwidth_utilization:.0%}" if r is not None else "-",
-         f"{r.dna_utilization:.0%}" if r is not None else "-")
+         util(r, "bandwidth_utilization"),
+         util(r, "dna_utilization"))
         for p, r in zip(points, outcome.reports)
     ]
     print(format_table(
@@ -279,19 +352,45 @@ def _cmd_sweep(args) -> int:
     return 0
 
 
-def _cmd_profile(args) -> int:
-    from repro.eval.accelerator import _benchmark_by_key, _config_by_name
-    from repro.obs import Observer, write_chrome_trace
+def _run_on_system(command: str, system: str, args,
+                   observe: bool = False) -> int:
+    """Execute one benchmark on a non-accel backend and print its report."""
+    from repro.systems import UnsupportedWorkloadError, run_system
 
+    observer = None
+    if observe:
+        from repro.obs import Observer
+
+        observer = Observer(timeline=False, phases=False,
+                           kernel_profile=False)
     try:
-        _benchmark_by_key(args.benchmark)
-        _config_by_name(args.config)
-    except KeyError as exc:
-        print(f"repro profile: {exc.args[0]}", file=sys.stderr)
+        report = run_system(
+            system, args.benchmark, clock_ghz=args.clock, observer=observer
+        )
+    except UnsupportedWorkloadError as exc:
+        print(f"repro {command}: {exc}", file=sys.stderr)
         return 2
-    code = _validate_backend_arg("profile", args.noc_backend)
+    print(f"{args.benchmark} on {system}: {report.latency_ms:.3f} ms")
+    print(format_table(
+        ["Term", "Value"],
+        sorted(report.breakdown.items()),
+        title=f"{system} breakdown",
+    ))
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    from repro.obs import Observer, write_chrome_trace
+    from repro.systems import default_system_name
+
+    system = args.system or default_system_name()
+    code = _resolve_names("profile", benchmark=args.benchmark,
+                          config=args.config, system=system,
+                          noc_backend=args.noc_backend)
     if code is not None:
         return code
+    if system != "accel":
+        return _run_on_system("profile", system, args, observe=True)
 
     from repro.eval.accelerator import run_benchmark
 
@@ -339,9 +438,16 @@ def _cmd_profile(args) -> int:
 
 
 def _cmd_simulate(args) -> int:
-    code = _validate_backend_arg("simulate", args.noc_backend)
+    from repro.systems import default_system_name
+
+    system = args.system or default_system_name()
+    code = _resolve_names("simulate", benchmark=args.benchmark,
+                          config=args.config, system=system,
+                          noc_backend=args.noc_backend)
     if code is not None:
         return code
+    if system != "accel":
+        return _run_on_system("simulate", system, args)
 
     from repro.eval.accelerator import run_benchmark
 
@@ -358,6 +464,70 @@ def _cmd_simulate(args) -> int:
     print(f"  GPE utilization: {report.gpe_utilization:.0%}")
     for layer in report.layers:
         print(f"    {layer.name:24s} {layer.latency_ns / 1e3:10.1f} us")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.systems import (
+        UnsupportedWorkloadError,
+        run_system,
+        system_names,
+    )
+
+    systems = tuple(args.systems) or system_names()
+    code = _resolve_names("compare", benchmark=args.benchmark,
+                          config=args.config,
+                          noc_backend=args.noc_backend)
+    if code is None:
+        for name in systems:
+            code = _resolve_names("compare", system=name)
+            if code is not None:
+                break
+    if code is not None:
+        return code
+
+    reports = {}
+    skipped = {}
+    for name in systems:
+        try:
+            reports[name] = run_system(
+                name, args.benchmark,
+                config_name=args.config,
+                clock_ghz=args.clock,
+                noc_backend=args.noc_backend,
+            )
+        except UnsupportedWorkloadError as exc:
+            skipped[name] = str(exc)
+
+    accel_ms = (
+        reports["accel"].latency_ms if "accel" in reports else None
+    )
+
+    def speedup(name: str) -> str:
+        if accel_ms is None or name not in reports:
+            return "-"
+        return f"{reports[name].latency_ms / accel_ms:.2f}x"
+
+    rows = [
+        (name,
+         f"{reports[name].latency_ms:.3f}" if name in reports
+         else "unsupported",
+         speedup(name))
+        for name in systems
+    ]
+    table = format_table(
+        ["System", "Latency (ms)", "Speedup vs accel"],
+        rows,
+        title=(f"{args.benchmark} @ {args.clock:g} GHz "
+               f"({args.config} accel row)"),
+    )
+    print(table)
+    for name, reason in skipped.items():
+        print(f"  note: {name} skipped — {reason}")
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(table + "\n")
+        print(f"wrote comparison table to {args.output}")
     return 0
 
 
@@ -383,10 +553,19 @@ def build_parser() -> argparse.ArgumentParser:
         "noc-backends",
         help="list registered NoC backends with fidelity notes",
     )
+    sub.add_parser(
+        "systems",
+        help="list registered execution systems",
+    )
+    system_help = ("execution system: accel (default), cpu, gpu, eyeriss "
+                   "— see 'repro systems'; default honours $REPRO_SYSTEM")
     simulate = sub.add_parser("simulate", help="simulate one benchmark")
     simulate.add_argument("benchmark", help="e.g. gcn-cora")
     simulate.add_argument("--config", default="CPU iso-BW")
     simulate.add_argument("--clock", type=float, default=2.4)
+    simulate.add_argument(
+        "--system", default=None, metavar="NAME", help=system_help,
+    )
     simulate.add_argument(
         "--noc-backend", default=None, metavar="NAME",
         help="NoC model: packet (default), flit, analytical — see "
@@ -402,6 +581,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="Table VI configuration name (default: CPU iso-BW)",
     )
     profile.add_argument("--clock", type=float, default=2.4, metavar="GHZ")
+    profile.add_argument(
+        "--system", default=None, metavar="NAME", help=system_help,
+    )
     profile.add_argument(
         "--trace", default=None, metavar="PATH",
         help="write a Chrome trace_event JSON timeline to PATH",
@@ -455,6 +637,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="NoC model for every point: packet (default), flit, "
              "analytical — part of the cache key",
     )
+    sweep.add_argument(
+        "--system", default=None, metavar="NAME",
+        help=system_help + "; non-accel systems ignore --configs/--clocks",
+    )
+    compare = sub.add_parser(
+        "compare",
+        help="one benchmark across execution systems, with speedups",
+    )
+    compare.add_argument("benchmark", help="e.g. gcn-cora")
+    compare.add_argument(
+        "--systems", nargs="*", default=(), metavar="NAME",
+        help="systems to compare (default: all registered)",
+    )
+    compare.add_argument(
+        "--config", default="CPU iso-BW",
+        help="Table VI row for the accel system (default: CPU iso-BW, "
+             "the iso-bandwidth comparison)",
+    )
+    compare.add_argument("--clock", type=float, default=2.4, metavar="GHZ")
+    compare.add_argument(
+        "--noc-backend", default=None, metavar="NAME",
+        help="NoC model for the accel system",
+    )
+    compare.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the comparison table to PATH",
+    )
     return parser
 
 
@@ -463,6 +672,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "list": _cmd_list,
         "noc-backends": _cmd_noc_backends,
+        "systems": _cmd_systems,
+        "compare": _cmd_compare,
         "table2": _cmd_table2,
         "figure2": _cmd_figure2,
         "table7": _cmd_table7,

@@ -18,12 +18,9 @@ from __future__ import annotations
 import functools
 from typing import TYPE_CHECKING
 
-from repro.accel.config import (
-    CONFIGURATIONS,
-    AcceleratorConfig,
-)
+from repro.accel.config import AcceleratorConfig, configuration_by_name
 from repro.exp.cache import DEFAULT_CACHE, clear_memo, lookup, point_key, store
-from repro.models.registry import BENCHMARKS, Benchmark, load_benchmark
+from repro.models.registry import Benchmark, benchmark_by_key, load_benchmark
 from repro.runtime.compiler import compile_model
 from repro.runtime.engine import simulate
 from repro.runtime.report import SimulationReport
@@ -31,30 +28,37 @@ from repro.runtime.report import SimulationReport
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.observer import Observer
 
-
-def _benchmark_by_key(key: str) -> Benchmark:
-    for benchmark in BENCHMARKS:
-        if benchmark.key == key:
-            return benchmark
-    raise KeyError(
-        f"unknown benchmark {key!r}; available: "
-        f"{[b.key for b in BENCHMARKS]}"
-    )
+#: Dict-backed registry lookups, kept under their historical names —
+#: the CLI, energy driver, and tests import them from here.  Unknown
+#: names raise ``KeyError`` listing every valid key.
+_benchmark_by_key = benchmark_by_key
+_config_by_name = configuration_by_name
 
 
-def _config_by_name(name: str) -> AcceleratorConfig:
-    for config in CONFIGURATIONS:
-        if config.name == name:
-            return config
-    raise KeyError(
-        f"unknown configuration {name!r}; available: "
-        f"{[c.name for c in CONFIGURATIONS]}"
-    )
+def resolve_benchmark_config(
+    benchmark_key: str,
+    config_name: str = "CPU iso-BW",
+    clock_ghz: float = 2.4,
+    noc_backend: str | None = None,
+) -> tuple[Benchmark, AcceleratorConfig]:
+    """Resolve user-facing names to registry objects, in one place.
+
+    The single source of truth for name resolution: the CLI's exit-2
+    paths, :func:`run_benchmark`, and the :mod:`repro.systems` accel
+    backend all funnel through the same dict-backed lookups, so an
+    unknown benchmark or configuration always raises the same
+    ``KeyError`` listing the valid names.
+    """
+    benchmark = benchmark_by_key(benchmark_key)
+    config = configuration_by_name(config_name).with_clock(clock_ghz)
+    if noc_backend is not None:
+        config = config.with_noc_backend(noc_backend)
+    return benchmark, config
 
 
 @functools.lru_cache(maxsize=None)
 def _compiled_program(benchmark_key: str):
-    benchmark = _benchmark_by_key(benchmark_key)
+    benchmark = benchmark_by_key(benchmark_key)
     model, data = load_benchmark(benchmark)
     return compile_model(model, data)
 
@@ -78,7 +82,7 @@ def run_config(
     the *same* cache key a bare run would use: observer attachment is
     excluded from the cache fingerprint, like the watchdog budgets.
     """
-    _benchmark_by_key(benchmark_key)  # validate early, before hashing
+    benchmark_by_key(benchmark_key)  # validate early, before hashing
     key = point_key(benchmark_key, config)
     if observer is not None:
         report = simulate(_compiled_program(benchmark_key), config,
@@ -111,9 +115,9 @@ def run_benchmark(
     ``$REPRO_NOC_BACKEND``).  The backend is part of the cache
     fingerprint, so fidelities never share cached reports.
     """
-    config = _config_by_name(config_name).with_clock(clock_ghz)
-    if noc_backend is not None:
-        config = config.with_noc_backend(noc_backend)
+    _, config = resolve_benchmark_config(
+        benchmark_key, config_name, clock_ghz, noc_backend
+    )
     return run_config(benchmark_key, config, observer=observer)
 
 

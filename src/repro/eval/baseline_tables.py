@@ -1,13 +1,17 @@
-"""Table VII driver: measured and modeled baseline latencies."""
+"""Table VII driver: measured and modeled baseline latencies.
+
+The rows come from the registered ``cpu`` / ``gpu`` execution backends
+(:mod:`repro.systems`), whose reports carry both the paper's measured
+Table VII latency and the analytical roofline estimate in their
+breakdowns — one cached execution per (system, benchmark) feeds this
+table, the Figure 8 normalization, and ``repro compare`` alike.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.machines import CPU_MACHINE, GPU_MACHINE
-from repro.baselines.roofline import estimate_latency_ms
-from repro.baselines.table7 import TABLE7_MEASURED_MS
-from repro.models.registry import BENCHMARKS, benchmark_workload
+from repro.models.registry import BENCHMARKS
 
 
 @dataclass(frozen=True)
@@ -24,18 +28,20 @@ class Table7Row:
 
 def table7() -> list[Table7Row]:
     """Table VII with our analytical model next to the paper's numbers."""
+    from repro.systems import run_system
+
     rows = []
     for benchmark in BENCHMARKS:
-        measured_cpu, measured_gpu = TABLE7_MEASURED_MS[benchmark.key]
-        workload = benchmark_workload(benchmark)
+        cpu = run_system("cpu", benchmark.key)
+        gpu = run_system("gpu", benchmark.key)
         rows.append(
             Table7Row(
                 benchmark=benchmark.model,
                 input_graph=benchmark.dataset,
-                cpu_measured_ms=measured_cpu,
-                gpu_measured_ms=measured_gpu,
-                cpu_modeled_ms=estimate_latency_ms(workload, CPU_MACHINE),
-                gpu_modeled_ms=estimate_latency_ms(workload, GPU_MACHINE),
+                cpu_measured_ms=cpu.breakdown["measured_ms"],
+                gpu_measured_ms=gpu.breakdown["measured_ms"],
+                cpu_modeled_ms=cpu.breakdown["modeled_ms"],
+                gpu_modeled_ms=gpu.breakdown["modeled_ms"],
             )
         )
     return rows

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baselines.table7 import baseline_latency_ms
-from repro.eval.accelerator import _config_by_name
+from repro.accel.config import configuration_by_name
 from repro.exp.cache import DEFAULT_CACHE
 from repro.exp.runner import (
     FIGURE8_CLOCKS,
@@ -58,8 +57,13 @@ def figure8(
 
     ``jobs > 1`` distributes uncached simulations over a process pool
     (:func:`repro.exp.runner.run_sweep`); results are identical to the
-    serial path.
+    serial path.  Baseline latencies come from the registered ``cpu`` /
+    ``gpu`` execution backends (:func:`repro.systems.run_system`) — the
+    measured Table VII numbers the paper normalizes against — through
+    the same caching layers as the accelerator points.
     """
+    from repro.systems import run_system
+
     keys = benchmarks or tuple(b.key for b in BENCHMARKS)
     grid = [
         (config_name, baseline_system, key, clock)
@@ -68,26 +72,28 @@ def figure8(
         for clock in clocks
     ]
     points = [
-        Point(key, _config_by_name(config_name), clock)
+        Point(key, configuration_by_name(config_name), clock)
         for config_name, _, key, clock in grid
     ]
     reports = run_sweep(points, jobs=jobs, cache=cache)
-    cells = []
-    for (config_name, baseline_system, key, clock), report in zip(
-        grid, reports
-    ):
-        benchmark = next(b for b in BENCHMARKS if b.key == key)
-        cells.append(
-            Figure8Cell(
-                config=config_name,
-                baseline=baseline_system,
-                benchmark=key,
-                clock_ghz=clock,
-                latency_ms=report.latency_ms,
-                baseline_ms=baseline_latency_ms(benchmark, baseline_system),
-            )
+    baselines = {
+        (system, key): run_system(system, key, cache=cache).latency_ms
+        for system in dict.fromkeys(system for _, system in groups)
+        for key in keys
+    }
+    return [
+        Figure8Cell(
+            config=config_name,
+            baseline=baseline_system,
+            benchmark=key,
+            clock_ghz=clock,
+            latency_ms=report.latency_ms,
+            baseline_ms=baselines[(baseline_system, key)],
         )
-    return cells
+        for (config_name, baseline_system, key, clock), report in zip(
+            grid, reports
+        )
+    ]
 
 
 def mean_speedup(cells: list[Figure8Cell], config: str, clock_ghz: float) -> float:

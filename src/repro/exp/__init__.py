@@ -37,6 +37,7 @@ from repro.exp.runner import (
     PointResult,
     RetryPolicy,
     SweepOutcome,
+    execute_point,
     figure8_points,
     run_sweep,
     run_sweep_detailed,
@@ -54,6 +55,7 @@ __all__ = [
     "PointResult",
     "RetryPolicy",
     "SweepOutcome",
+    "execute_point",
     "figure8_points",
     "run_sweep",
     "run_sweep_detailed",

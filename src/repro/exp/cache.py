@@ -8,10 +8,19 @@ of:
 
 * ``schema`` — :data:`SCHEMA_VERSION`, bumped whenever the simulator's
   observable behaviour or the report format changes;
+* ``system`` — the execution system (``"accel"`` for the simulated
+  accelerator; see :mod:`repro.systems` — every system's fingerprint
+  names it, so no two systems can share an entry);
 * ``benchmark`` — the benchmark key (``"gcn-cora"``);
 * ``config`` — every field of the resolved
   :class:`~repro.accel.config.AcceleratorConfig`, recursively
   (:func:`dataclasses.asdict`), including the swept clock.
+
+Cross-system entries (CPU/GPU baselines, the Eyeriss dataflow mapper)
+hash an :class:`~repro.systems.base.ExecutionPlan` fingerprint instead —
+``system`` + shared :class:`~repro.systems.base.Workload` content + the
+system's own parameters — and store a serialized
+:class:`~repro.systems.base.SystemReport` tagged ``"kind": "system"``.
 
 Keyword-argument order, environment variables, dict iteration order, and
 anything else outside those inputs do not affect the key (canonical JSON:
@@ -34,7 +43,7 @@ import json
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.accel.config import AcceleratorConfig
 from repro.runtime.report import SimulationReport
@@ -54,6 +63,25 @@ NO_CACHE_ENV = "REPRO_NO_CACHE"
 #: ``None``, which means "no persistent cache".
 DEFAULT_CACHE = object()
 
+#: System name of the simulated accelerator in cache fingerprints
+#: (mirrors :data:`repro.systems.registry.DEFAULT_SYSTEM`; a literal
+#: here keeps this module importable without the systems package).
+ACCEL_SYSTEM = "accel"
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.systems.base import SystemReport
+
+#: What the caching layers hold: simulated accelerator reports plus
+#: cross-system reports (see :mod:`repro.systems`).
+CachedReport = "SimulationReport | SystemReport"
+
+
+def content_key(document: dict[str, Any]) -> str:
+    """SHA-256 of a canonical-JSON document (sorted keys, fixed
+    separators) — the one hashing convention every cache key uses."""
+    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
 
 def config_fingerprint(config: AcceleratorConfig) -> dict[str, Any]:
     """Every *result-affecting* field of a configuration as plain data.
@@ -67,19 +95,31 @@ def config_fingerprint(config: AcceleratorConfig) -> dict[str, Any]:
     return data
 
 
+def point_fingerprint(
+    benchmark_key: str, config: AcceleratorConfig
+) -> dict[str, Any]:
+    """The canonical document behind :func:`point_key`.
+
+    Always names the execution system (``"accel"``), so accelerator
+    entries can never collide with the cross-system entries of
+    :mod:`repro.systems` — the same invariant every
+    :meth:`~repro.systems.base.ExecutionPlan.fingerprint` upholds.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "system": ACCEL_SYSTEM,
+        "benchmark": benchmark_key,
+        "config": config_fingerprint(config),
+    }
+
+
 def point_key(benchmark_key: str, config: AcceleratorConfig) -> str:
     """Content hash identifying one (benchmark, resolved config) point.
 
     ``config`` carries the operating clock (``config.clock_ghz``); use
     :meth:`AcceleratorConfig.with_clock` to key a clock-sweep point.
     """
-    document = {
-        "schema": SCHEMA_VERSION,
-        "benchmark": benchmark_key,
-        "config": config_fingerprint(config),
-    }
-    canonical = json.dumps(document, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return content_key(point_fingerprint(benchmark_key, config))
 
 
 class ResultCache:
@@ -99,12 +139,15 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.results_dir / f"{key}.json"
 
-    def get(self, key: str) -> SimulationReport | None:
+    def get(self, key: str) -> "SimulationReport | SystemReport | None":
         """The cached report for ``key``, or None.
 
-        Corrupt or stale entries (unparseable JSON, missing fields, a
-        different :data:`SCHEMA_VERSION`) are deleted and treated as
-        misses.
+        Entries tagged ``"kind": "system"`` rebuild a cross-system
+        :class:`~repro.systems.base.SystemReport`; untagged entries are
+        accelerator :class:`SimulationReport`\\ s (the pre-systems
+        on-disk format, unchanged).  Corrupt or stale entries
+        (unparseable JSON, missing fields, a different
+        :data:`SCHEMA_VERSION`) are deleted and treated as misses.
         """
         path = self.path_for(key)
         try:
@@ -117,18 +160,34 @@ class ResultCache:
         try:
             if payload["schema"] != SCHEMA_VERSION or payload["key"] != key:
                 raise KeyError("schema or key mismatch")
+            if payload.get("kind") == "system":
+                from repro.systems.serialize import system_report_from_dict
+
+                return system_report_from_dict(payload["report"])
             return report_from_dict(payload["report"])
         except (KeyError, TypeError):
             self._discard(path)
             return None
 
-    def put(self, key: str, report: SimulationReport) -> None:
+    def put(
+        self, key: str, report: "SimulationReport | SystemReport"
+    ) -> None:
         """Persist a report atomically (readers never see partial JSON)."""
-        payload = {
-            "schema": SCHEMA_VERSION,
-            "key": key,
-            "report": report_to_dict(report),
-        }
+        if isinstance(report, SimulationReport):
+            payload = {
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "report": report_to_dict(report),
+            }
+        else:
+            from repro.systems.serialize import system_report_to_dict
+
+            payload = {
+                "schema": SCHEMA_VERSION,
+                "key": key,
+                "kind": "system",
+                "report": system_report_to_dict(report),
+            }
         self.results_dir.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
             dir=self.results_dir, prefix=".tmp-", suffix=".json"
@@ -173,9 +232,10 @@ class ResultCache:
 _default: ResultCache | None = None
 _default_set = False
 
-#: Per-process memo: key -> report.  Guarantees identity (`a is b`) for
-#: repeated lookups of the same operating point within one process.
-_MEMO: dict[str, SimulationReport] = {}
+#: Per-process memo: key -> report (simulation or cross-system).
+#: Guarantees identity (`a is b`) for repeated lookups of the same
+#: operating point within one process.
+_MEMO: dict[str, Any] = {}
 
 
 def default_cache() -> ResultCache | None:
@@ -228,11 +288,11 @@ def disabled() -> Iterator[None]:
         _default, _default_set = saved
 
 
-def memo_get(key: str) -> SimulationReport | None:
+def memo_get(key: str) -> "SimulationReport | SystemReport | None":
     return _MEMO.get(key)
 
 
-def memo_put(key: str, report: SimulationReport) -> None:
+def memo_put(key: str, report: "SimulationReport | SystemReport") -> None:
     _MEMO[key] = report
 
 
@@ -241,7 +301,9 @@ def clear_memo() -> None:
     _MEMO.clear()
 
 
-def lookup(key: str, cache: object = DEFAULT_CACHE) -> SimulationReport | None:
+def lookup(
+    key: str, cache: object = DEFAULT_CACHE
+) -> "SimulationReport | SystemReport | None":
     """Layered read: in-memory memo, then the persistent store."""
     report = _MEMO.get(key)
     if report is not None:
@@ -255,7 +317,9 @@ def lookup(key: str, cache: object = DEFAULT_CACHE) -> SimulationReport | None:
 
 
 def store(
-    key: str, report: SimulationReport, cache: object = DEFAULT_CACHE
+    key: str,
+    report: "SimulationReport | SystemReport",
+    cache: object = DEFAULT_CACHE,
 ) -> None:
     """Layered write: memo always, persistent store when enabled."""
     _MEMO[key] = report

@@ -42,7 +42,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.accel.config import AcceleratorConfig
-from repro.exp.cache import DEFAULT_CACHE, lookup, point_key, store
+from repro.exp.cache import (
+    ACCEL_SYSTEM,
+    DEFAULT_CACHE,
+    lookup,
+    point_key,
+    store,
+)
 from repro.exp.errors import STATUS_ERRORS, PointError, SweepFailed
 from repro.runtime.report import SimulationReport
 from repro.runtime.serialize import report_from_dict, report_to_dict
@@ -65,29 +71,86 @@ BACKOFF_ENV = "REPRO_SWEEP_BACKOFF"
 
 @dataclass(frozen=True)
 class Point:
-    """One operating point of a sweep: a benchmark on a configuration.
+    """One operating point of a sweep: a benchmark on an execution system.
 
-    ``clock_ghz`` overrides the configuration's tile clock (Figure 8
-    sweeps the clock while the config identifies the Table VI row).
+    The default system is the simulated accelerator, where ``config``
+    names the Table VI row and ``clock_ghz`` overrides its tile clock
+    (Figure 8 sweeps the clock while the config identifies the row).
+    Any other registered :mod:`repro.systems` name (``"cpu"``,
+    ``"gpu"``, ``"eyeriss"``) runs the benchmark on that backend
+    instead; such points carry no accelerator config.
     """
 
     benchmark_key: str
-    config: AcceleratorConfig
+    config: AcceleratorConfig | None = None
     clock_ghz: float | None = None
+    system: str = ACCEL_SYSTEM
+
+    def __post_init__(self) -> None:
+        if self.system == ACCEL_SYSTEM:
+            if self.config is None:
+                raise ValueError(
+                    "accelerator points need an AcceleratorConfig; "
+                    "pass config= or pick a different system="
+                )
+        elif self.config is not None:
+            raise ValueError(
+                f"system {self.system!r} does not take an accelerator "
+                f"config; leave config=None"
+            )
 
     @property
     def resolved_config(self) -> AcceleratorConfig:
-        """The configuration with the point's clock applied."""
+        """The configuration with the point's clock applied (accel only)."""
+        if self.config is None:
+            raise ValueError(
+                f"point on system {self.system!r} has no accelerator config"
+            )
         if self.clock_ghz is None or self.clock_ghz == self.config.clock_ghz:
             return self.config
         return self.config.with_clock(self.clock_ghz)
 
+    def plan(self) -> Any:
+        """The :class:`~repro.systems.base.ExecutionPlan` for a
+        cross-system point (see :mod:`repro.systems`)."""
+        from repro.systems import create_system, resolve_workload
+
+        backend = create_system(self.system, clock_ghz=self.clock_ghz)
+        return backend.prepare(resolve_workload(self.benchmark_key))
+
     @property
     def key(self) -> str:
-        """Content-hash cache key (see :func:`repro.exp.cache.point_key`)."""
-        return point_key(self.benchmark_key, self.resolved_config)
+        """Content-hash cache key.
+
+        Accelerator points keep :func:`repro.exp.cache.point_key` — the
+        exact key direct ``run_config`` calls use, so sweeps and single
+        runs share entries.  Cross-system points hash their
+        :meth:`~repro.systems.base.ExecutionPlan.fingerprint`; every
+        fingerprint names its system, so systems never collide.
+        """
+        if self.system == ACCEL_SYSTEM:
+            return point_key(self.benchmark_key, self.resolved_config)
+        from repro.systems import UnsupportedWorkloadError
+
+        try:
+            return self.plan().key
+        except UnsupportedWorkloadError:
+            # No plan exists, so nothing will ever be cached under this
+            # key; a stable surrogate keeps the sweep bookkeeping sound
+            # while the execution attempt reports the real error.
+            from repro.exp.cache import SCHEMA_VERSION, content_key
+
+            return content_key({
+                "schema": SCHEMA_VERSION,
+                "system": self.system,
+                "benchmark": self.benchmark_key,
+                "unsupported": True,
+            })
 
     def describe(self) -> str:
+        if self.system != ACCEL_SYSTEM:
+            clock = "" if self.clock_ghz is None else f" @{self.clock_ghz:g} GHz"
+            return f"{self.benchmark_key} on {self.system}{clock}"
         config = self.resolved_config
         return f"{self.benchmark_key} on {config.name} @{config.clock_ghz:g} GHz"
 
@@ -160,7 +223,7 @@ class PointResult:
 
     point: Point
     status: str  # "ok" | "cached" | "timeout" | "crash" | "diverged" | "error"
-    report: SimulationReport | None = None
+    report: Any = None  # SimulationReport | SystemReport | None
     attempts: int = 0
     error: str | None = None
     metrics: dict[str, Any] | None = None
@@ -172,13 +235,17 @@ class PointResult:
     def to_error(self) -> PointError:
         """The typed exception equivalent of a failed result."""
         cls = STATUS_ERRORS.get(self.status, PointError)
-        config = self.point.resolved_config
+        if self.point.system == ACCEL_SYSTEM:
+            config = self.point.resolved_config
+            config_name, clock = config.name, config.clock_ghz
+        else:
+            config_name, clock = self.point.system, self.point.clock_ghz
         return cls(
             f"{self.point.describe()}: {self.error or self.status} "
             f"(after {self.attempts} attempt(s))",
             benchmark=self.point.benchmark_key,
-            config_name=config.name,
-            clock_ghz=config.clock_ghz,
+            config_name=config_name,
+            clock_ghz=clock,
             attempts=self.attempts,
         )
 
@@ -207,8 +274,10 @@ class SweepOutcome:
         return all(result.ok for result in self.results)
 
     @property
-    def reports(self) -> list[SimulationReport | None]:
-        """One report per input point (None where the point failed)."""
+    def reports(self) -> list[Any]:
+        """One report per input point — a :class:`SimulationReport` for
+        accelerator points, a :class:`~repro.systems.base.SystemReport`
+        for cross-system points, None where the point failed."""
         return [result.report for result in self.results]
 
     @property
@@ -267,7 +336,7 @@ def simulate_point(
     config: AcceleratorConfig | None = None,
     observer: Any = None,
 ) -> SimulationReport:
-    """Compile (memoized per process) and simulate one point.
+    """Compile (memoized per process) and simulate one accelerator point.
 
     ``config`` overrides the point's resolved configuration — used to
     apply execution budgets without changing the cache identity.
@@ -282,6 +351,40 @@ def simulate_point(
         config if config is not None else point.resolved_config,
         observer=observer,
     )
+
+
+def execute_point(point: Point, observer: Any = None) -> Any:
+    """Run one point on its execution system (no caching, no budgets).
+
+    Accelerator points go through :func:`simulate_point`; cross-system
+    points prepare and execute on their registered
+    :mod:`repro.systems` backend.
+    """
+    if point.system == ACCEL_SYSTEM:
+        return simulate_point(point, observer=observer)
+    from repro.systems import create_system, resolve_workload
+
+    backend = create_system(point.system, clock_ghz=point.clock_ghz)
+    plan = backend.prepare(resolve_workload(point.benchmark_key))
+    return backend.execute(plan, observer=observer)
+
+
+def _serialize_report(report: Any) -> dict[str, Any]:
+    """Kind-tagged plain data for a report crossing a process boundary
+    — the same representations the persistent cache stores."""
+    if isinstance(report, SimulationReport):
+        return {"kind": "sim", "data": report_to_dict(report)}
+    from repro.systems.serialize import system_report_to_dict
+
+    return {"kind": "system", "data": system_report_to_dict(report)}
+
+
+def _deserialize_report(payload: dict[str, Any]) -> Any:
+    if payload["kind"] == "system":
+        from repro.systems.serialize import system_report_from_dict
+
+        return system_report_from_dict(payload["data"])
+    return report_from_dict(payload["data"])
 
 
 def _sweep_observer() -> Any:
@@ -313,13 +416,16 @@ def _attempt_inline(
     """One in-process attempt, classified instead of propagated."""
     observer = _sweep_observer() if collect_metrics else None
     try:
-        config = _config_with_wall_budget(
-            point.resolved_config, policy.timeout_s
-        )
-        if observer is None:
-            report = simulate_point(point, config)
+        if point.system == ACCEL_SYSTEM:
+            config = _config_with_wall_budget(
+                point.resolved_config, policy.timeout_s
+            )
+            if observer is None:
+                report = simulate_point(point, config)
+            else:
+                report = simulate_point(point, config, observer=observer)
         else:
-            report = simulate_point(point, config, observer=observer)
+            report = execute_point(point, observer=observer)
     except Exception as exc:
         status, message = _classify_failure(exc)
         return PointResult(point, status, attempts=1, error=message)
@@ -328,14 +434,15 @@ def _attempt_inline(
 
 
 def _worker(point: Point) -> dict[str, Any]:
-    """Pool worker: simulate and return serialized plain data.
+    """Pool worker: execute and return kind-tagged serialized data.
 
     Reports cross the process boundary through
-    :func:`repro.runtime.serialize.report_to_dict` — the exact
-    representation the persistent cache stores — so a parallel result is
-    byte-for-byte what a cache hit of the same point would yield.
+    :func:`repro.runtime.serialize` / :mod:`repro.systems.serialize` —
+    the exact representations the persistent cache stores — so a
+    parallel result is byte-for-byte what a cache hit of the same point
+    would yield.
     """
-    return report_to_dict(simulate_point(point))
+    return _serialize_report(execute_point(point))
 
 
 def _resilient_worker(
@@ -350,15 +457,20 @@ def _resilient_worker(
     """
     observer = _sweep_observer() if collect_metrics else None
     try:
-        config = _config_with_wall_budget(point.resolved_config, timeout_s)
-        if observer is None:
-            report = simulate_point(point, config)
+        if point.system == ACCEL_SYSTEM:
+            config = _config_with_wall_budget(
+                point.resolved_config, timeout_s
+            )
+            if observer is None:
+                report = simulate_point(point, config)
+            else:
+                report = simulate_point(point, config, observer=observer)
         else:
-            report = simulate_point(point, config, observer=observer)
+            report = execute_point(point, observer=observer)
     except Exception as exc:
         status, message = _classify_failure(exc)
         return {"ok": False, "status": status, "error": message}
-    payload: dict[str, Any] = {"ok": True, "report": report_to_dict(report)}
+    payload: dict[str, Any] = {"ok": True, "report": _serialize_report(report)}
     if observer is not None:
         payload["metrics"] = observer.snapshot()
     return payload
@@ -373,9 +485,9 @@ def run_sweep(
     points: Iterable[Point],
     jobs: int = 1,
     cache: object = DEFAULT_CACHE,
-    progress: Callable[[Point, SimulationReport, bool], None] | None = None,
+    progress: Callable[[Point, Any, bool], None] | None = None,
     policy: RetryPolicy | None = None,
-) -> list[SimulationReport]:
+) -> list[Any]:
     """Simulate every point, cached and (optionally) in parallel.
 
     Returns one report per input point, in input order; duplicate points
@@ -401,7 +513,7 @@ def run_sweep_detailed(
     points: Iterable[Point],
     jobs: int = 1,
     cache: object = DEFAULT_CACHE,
-    progress: Callable[[Point, SimulationReport, bool], None] | None = None,
+    progress: Callable[[Point, Any, bool], None] | None = None,
     policy: RetryPolicy | None = None,
     collect_metrics: bool = False,
 ) -> SweepOutcome:
@@ -484,12 +596,16 @@ def _run_parallel(
     by killing the pool, and falls back to serial execution when a pool
     cannot be created at all.
     """
-    # Compile each distinct benchmark once in the parent before the pool
-    # starts: fork-based workers inherit the warm program memo instead of
-    # all re-compiling (and re-generating datasets) independently.
+    # Compile each distinct accelerator benchmark once in the parent
+    # before the pool starts: fork-based workers inherit the warm program
+    # memo instead of all re-compiling (and re-generating datasets)
+    # independently.  Cross-system points need no compilation.
     from repro.eval.accelerator import _compiled_program
 
-    for benchmark_key in dict.fromkeys(p.benchmark_key for p in missing):
+    accel_benchmarks = dict.fromkeys(
+        p.benchmark_key for p in missing if p.system == ACCEL_SYSTEM
+    )
+    for benchmark_key in accel_benchmarks:
         _compiled_program(benchmark_key)
 
     workers = min(jobs, len(missing))
@@ -615,7 +731,7 @@ def _run_parallel(
                             PointResult(
                                 pending.point,
                                 "ok",
-                                report_from_dict(payload["report"]),
+                                _deserialize_report(payload["report"]),
                                 attempts=pending.attempts,
                                 metrics=payload.get("metrics"),
                             )
@@ -679,14 +795,14 @@ def figure8_points(
     or ``$REPRO_NOC_BACKEND``).  The backend name is part of each
     point's cache key.
     """
-    from repro.eval.accelerator import _config_by_name
+    from repro.accel.config import configuration_by_name
     from repro.models.registry import BENCHMARKS
 
     keys = tuple(benchmarks or (b.key for b in BENCHMARKS))
     names = tuple(configs or (group[0] for group in FIGURE8_GROUPS))
 
     def resolve(name: str) -> AcceleratorConfig:
-        config = _config_by_name(name)
+        config = configuration_by_name(name)
         if noc_backend is not None:
             config = config.with_noc_backend(noc_backend)
         return config

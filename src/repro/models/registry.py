@@ -17,6 +17,7 @@ PGNN   DBLP_1      power-graph convolution, degree state
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from repro.graphs.datasets import DATASETS, load_dataset
 from repro.graphs.graph import Graph, GraphSet
@@ -54,45 +55,82 @@ BENCHMARKS: tuple[Benchmark, ...] = (
     Benchmark("PGNN", "dblp_1"),
 )
 
+#: The same rows keyed by their stable identifier, for O(1) resolution.
+BENCHMARKS_BY_KEY: dict[str, Benchmark] = {b.key: b for b in BENCHMARKS}
+
+
+def benchmark_by_key(key: str) -> Benchmark:
+    """Resolve a benchmark key (``"gcn-cora"``); unknown keys raise a
+    :class:`KeyError` that lists every valid key."""
+    try:
+        return BENCHMARKS_BY_KEY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {key!r}; available: "
+            f"{[b.key for b in BENCHMARKS]}"
+        ) from None
+
+
+#: Model family -> constructor, used by :func:`benchmark_model`.
+_MODEL_CLASSES: dict[str, type[GNNModel]] = {
+    "GCN": GCN,
+    "GAT": GAT,
+    "MPNN": MPNN,
+    "PGNN": PGNN,
+}
+
+
+def benchmark_model_config(benchmark: Benchmark) -> dict[str, Any]:
+    """The model's constructor hyper-parameters as plain data.
+
+    One ``{"family": ..., **constructor_kwargs}`` document per benchmark
+    — the single source :func:`benchmark_model` builds from, and the
+    ``model config`` half of the cross-system
+    :class:`repro.systems.Workload` cache fingerprint.
+    """
+    stats = DATASETS[benchmark.dataset.lower()]
+    family = benchmark.model.upper()
+    if family == "GCN":
+        return {
+            "family": "GCN",
+            "in_features": stats.vertex_features,
+            "hidden_features": 16,
+            "out_features": stats.output_features,
+        }
+    if family == "GAT":
+        return {
+            "family": "GAT",
+            "in_features": stats.vertex_features,
+            "hidden_features": 8,
+            "out_features": stats.output_features,
+            "num_heads": 8,
+            "normalize": False,
+        }
+    if family == "MPNN":
+        return {
+            "family": "MPNN",
+            "node_features": stats.vertex_features,
+            "edge_features": stats.edge_features,
+            "hidden": stats.output_features,
+            "out_features": stats.output_features,
+            "steps": 3,
+        }
+    if family == "PGNN":
+        return {
+            "family": "PGNN",
+            "in_features": stats.vertex_features,
+            "hidden_features": 8,
+            "out_features": stats.output_features,
+            "num_layers": 3,
+        }
+    raise KeyError(f"unknown model family {benchmark.model!r}")
+
 
 def benchmark_model(benchmark: Benchmark, seed: int = 0) -> GNNModel:
     """Construct the model for a benchmark, sized to its dataset."""
-    stats = DATASETS[benchmark.dataset.lower()]
-    model = benchmark.model.upper()
-    if model == "GCN":
-        return GCN(
-            in_features=stats.vertex_features,
-            hidden_features=16,
-            out_features=stats.output_features,
-            seed=seed,
-        )
-    if model == "GAT":
-        return GAT(
-            in_features=stats.vertex_features,
-            hidden_features=8,
-            out_features=stats.output_features,
-            num_heads=8,
-            normalize=False,
-            seed=seed,
-        )
-    if model == "MPNN":
-        return MPNN(
-            node_features=stats.vertex_features,
-            edge_features=stats.edge_features,
-            hidden=stats.output_features,
-            out_features=stats.output_features,
-            steps=3,
-            seed=seed,
-        )
-    if model == "PGNN":
-        return PGNN(
-            in_features=stats.vertex_features,
-            hidden_features=8,
-            out_features=stats.output_features,
-            num_layers=3,
-            seed=seed,
-        )
-    raise KeyError(f"unknown model family {benchmark.model!r}")
+    params = benchmark_model_config(benchmark)
+    cls = _MODEL_CLASSES[params.pop("family")]
+    return cls(seed=seed, **params)
 
 
 def load_benchmark(

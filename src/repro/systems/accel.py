@@ -1,0 +1,79 @@
+"""The simulated GNN accelerator as an :class:`ExecutionBackend`.
+
+A thin protocol adapter over the existing compile-and-simulate path:
+``prepare`` resolves the Table VI configuration (clock and NoC backend
+applied) and ``execute`` delegates to
+:func:`repro.eval.accelerator.run_config`, so reports are bit-identical
+to the pre-refactor ``run_benchmark`` path — same compiler memo, same
+simulation-report cache keys, same observer semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.accel.config import AcceleratorConfig, configuration_by_name
+from repro.systems.base import ExecutionPlan, SystemReport, Workload
+from repro.systems.registry import SystemOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
+
+#: Table VI row used when the caller does not pick one (matches
+#: ``run_benchmark``'s default).
+DEFAULT_CONFIG_NAME = "CPU iso-BW"
+
+#: Default tile clock in GHz (the paper's 2.4 GHz design point).
+DEFAULT_CLOCK_GHZ = 2.4
+
+
+class AcceleratorSystem:
+    """The paper's proposed accelerator, simulated event by event."""
+
+    name = "accel"
+
+    def __init__(self, options: SystemOptions = SystemOptions()) -> None:
+        config = configuration_by_name(
+            options.config_name or DEFAULT_CONFIG_NAME
+        )
+        config = config.with_clock(options.clock_ghz or DEFAULT_CLOCK_GHZ)
+        if options.noc_backend is not None:
+            config = config.with_noc_backend(options.noc_backend)
+        self._config = config
+
+    @property
+    def config(self) -> AcceleratorConfig:
+        """The fully-resolved configuration this backend simulates."""
+        return self._config
+
+    def prepare(self, workload: Workload) -> ExecutionPlan:
+        from repro.exp.cache import config_fingerprint
+
+        return ExecutionPlan(
+            system=self.name,
+            workload=workload,
+            params=(("config", config_fingerprint(self._config)),),
+            payload=self._config,
+        )
+
+    def execute(
+        self, plan: ExecutionPlan, observer: "Observer | None" = None
+    ) -> SystemReport:
+        from repro.eval.accelerator import run_config
+
+        report = run_config(
+            plan.workload.benchmark_key, plan.payload, observer=observer
+        )
+        return SystemReport(
+            system=self.name,
+            benchmark=plan.workload.benchmark_key,
+            latency_ms=report.latency_ms,
+            breakdown={
+                "bandwidth_utilization": report.bandwidth_utilization,
+                "dna_utilization": report.dna_utilization,
+                "gpe_utilization": report.gpe_utilization,
+                "agg_utilization": report.agg_utilization,
+                "dram_mb": report.dram_bytes / 1e6,
+            },
+            detail=report,
+        )

@@ -1,0 +1,119 @@
+"""The CPU and GPU baseline machines as :class:`ExecutionBackend`\\ s.
+
+``execute`` prices the benchmark's analytical workload on the Table III
+machine model (:func:`repro.baselines.roofline.workload_breakdown`) and
+reports the paper's measured Table VII latency as the headline number —
+exactly what the Figure 8 speedups normalize against.  Construct with
+``SystemOptions(measured=False)`` to report the modeled latency instead
+(the EXPERIMENTS.md calibration view); both numbers always appear in
+the breakdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.baselines.machines import CPU_MACHINE, GPU_MACHINE, MachineModel
+from repro.baselines.roofline import workload_breakdown
+from repro.baselines.table7 import TABLE7_MEASURED_MS
+from repro.models.registry import benchmark_workload
+from repro.systems.base import (
+    ExecutionPlan,
+    SystemReport,
+    UnsupportedWorkloadError,
+    Workload,
+)
+from repro.systems.registry import SystemOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
+
+CPU_SYSTEM_NAME = "cpu"
+GPU_SYSTEM_NAME = "gpu"
+
+_MACHINES: dict[str, MachineModel] = {
+    CPU_SYSTEM_NAME: CPU_MACHINE,
+    GPU_SYSTEM_NAME: GPU_MACHINE,
+}
+
+
+class BaselineSystem:
+    """One Table III machine: measured Table VII latency + roofline model."""
+
+    def __init__(
+        self, system: str, options: SystemOptions = SystemOptions()
+    ) -> None:
+        if system not in _MACHINES:
+            raise ValueError(
+                f"baseline system must be one of {sorted(_MACHINES)}, "
+                f"got {system!r}"
+            )
+        self.name = system
+        self._machine = _MACHINES[system]
+        self._measured = options.measured
+
+    @property
+    def machine(self) -> MachineModel:
+        return self._machine
+
+    def prepare(self, workload: Workload) -> ExecutionPlan:
+        if self._measured and workload.benchmark_key not in TABLE7_MEASURED_MS:
+            raise UnsupportedWorkloadError(
+                f"no measured Table VII latency for benchmark "
+                f"{workload.benchmark_key!r}; construct the {self.name} "
+                f"system with SystemOptions(measured=False) to price it "
+                f"on the analytical machine model"
+            )
+        return ExecutionPlan(
+            system=self.name,
+            workload=workload,
+            params=(
+                ("machine", dataclasses.asdict(self._machine)),
+                ("measured", self._measured),
+            ),
+            payload=self._machine,
+        )
+
+    def execute(
+        self, plan: ExecutionPlan, observer: "Observer | None" = None
+    ) -> SystemReport:
+        benchmark = plan.workload.benchmark
+        workload = benchmark_workload(benchmark, seed=plan.workload.seed)
+        parts = workload_breakdown(workload, self._machine)
+        breakdown = dataclasses.asdict(parts)
+        breakdown["modeled_ms"] = parts.total_ms
+        measured = TABLE7_MEASURED_MS.get(benchmark.key)
+        if measured is not None:
+            breakdown["measured_ms"] = (
+                measured[0] if self.name == CPU_SYSTEM_NAME else measured[1]
+            )
+        latency_ms = (
+            breakdown["measured_ms"] if self._measured
+            else breakdown["modeled_ms"]
+        )
+        report = SystemReport(
+            system=self.name,
+            benchmark=plan.workload.benchmark_key,
+            latency_ms=latency_ms,
+            breakdown=breakdown,
+        )
+        if observer is not None:
+            observe_breakdown(observer, report)
+        return report
+
+
+def observe_breakdown(observer: "Observer", report: SystemReport) -> None:
+    """Register the report's terms as counters on the observer.
+
+    Analytical systems have no event kernel to instrument, so their
+    observability story is the registry snapshot: one
+    ``system/<name>`` entry carrying the latency breakdown.
+    """
+    from repro.sim.stats import StatSet
+
+    stats = StatSet()
+    stats.add("latency_ms", report.latency_ms)
+    for term, value in report.breakdown.items():
+        stats.add(term, value)
+    observer.registry.register(f"system/{report.system}", stats=stats)

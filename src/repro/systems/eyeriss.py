@@ -1,0 +1,105 @@
+"""The Eyeriss-like dense dataflow accelerator as an :class:`ExecutionBackend`.
+
+Wraps the Section II study (:mod:`repro.dataflow`): the GCN inference is
+lowered to its dense matmul layer sequence and scheduled onto the
+Table I spatial array by the NN-Dataflow-like mapper, priced at the
+paper's 68 GBps off-chip bandwidth.  The study — like the paper's —
+covers only the GCN benchmarks; preparing any other workload raises
+:class:`~repro.systems.base.UnsupportedWorkloadError` naming the
+supported keys.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING
+
+from repro.dataflow.layers import gcn_dense_layers
+from repro.dataflow.mapper import analyze_network
+from repro.dataflow.spatial import EYERISS_CONFIG, SpatialArrayConfig
+from repro.graphs.datasets import load_dataset
+from repro.systems.base import (
+    ExecutionPlan,
+    SystemReport,
+    UnsupportedWorkloadError,
+    Workload,
+)
+from repro.systems.registry import SystemOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
+
+#: Off-chip bandwidth of the Section II study (GBps) — the Table II
+#: "68 GBps" column, matching the CPU iso-BW operating point.
+SECTION2_BANDWIDTH_GBPS = 68.0
+
+#: Array clock of the Section II study (GHz).
+DEFAULT_FREQ_GHZ = 2.4
+
+#: Benchmarks the Section II study covers.
+SUPPORTED_BENCHMARKS = ("gcn-cora", "gcn-citeseer", "gcn-pubmed")
+
+
+class EyerissSystem:
+    """The dense DNN accelerator the paper's Section II argues against."""
+
+    name = "eyeriss"
+
+    def __init__(self, options: SystemOptions = SystemOptions()) -> None:
+        self._array: SpatialArrayConfig = EYERISS_CONFIG
+        self._bandwidth_gbps = SECTION2_BANDWIDTH_GBPS
+        self._freq_ghz = options.clock_ghz or DEFAULT_FREQ_GHZ
+
+    def prepare(self, workload: Workload) -> ExecutionPlan:
+        if workload.family != "GCN":
+            raise UnsupportedWorkloadError(
+                f"the eyeriss dataflow study only maps GCN benchmarks "
+                f"({', '.join(SUPPORTED_BENCHMARKS)}); "
+                f"got {workload.benchmark_key!r}"
+            )
+        return ExecutionPlan(
+            system=self.name,
+            workload=workload,
+            params=(
+                ("array", dataclasses.asdict(self._array)),
+                ("bandwidth_gbps", self._bandwidth_gbps),
+                ("freq_ghz", self._freq_ghz),
+            ),
+        )
+
+    def execute(
+        self, plan: ExecutionPlan, observer: "Observer | None" = None
+    ) -> SystemReport:
+        workload = plan.workload
+        graph = load_dataset(workload.dataset)
+        model = dict(workload.model_config)
+        layers = gcn_dense_layers(
+            graph,
+            hidden=model["hidden_features"],
+            out_features=model["out_features"],
+        )
+        analysis = analyze_network(
+            layers, self._array, self._bandwidth_gbps, self._freq_ghz
+        )
+        breakdown: dict[str, float] = {
+            layer.layer.name + "_ms": layer.latency_ns * 1e-6
+            for layer in analysis.layers
+        }
+        breakdown.update(
+            pe_utilization=analysis.pe_utilization,
+            useful_pe_utilization=analysis.useful_pe_utilization,
+            mean_bandwidth_gbps=analysis.mean_bandwidth_gbps,
+            useful_traffic_fraction=analysis.useful_traffic_fraction,
+            useful_compute_fraction=analysis.useful_compute_fraction,
+        )
+        report = SystemReport(
+            system=self.name,
+            benchmark=workload.benchmark_key,
+            latency_ms=analysis.latency_ms,
+            breakdown=breakdown,
+        )
+        if observer is not None:
+            from repro.systems.baseline import observe_breakdown
+
+            observe_breakdown(observer, report)
+        return report

@@ -1,0 +1,42 @@
+"""Plain-data round trip for :class:`~repro.systems.base.SystemReport`.
+
+The persistent :class:`~repro.exp.cache.ResultCache` and the sweep
+workers both move system reports as JSON-serializable dictionaries; the
+embedded accelerator :class:`~repro.runtime.report.SimulationReport`
+(when present) rides through :mod:`repro.runtime.serialize`, the exact
+representation the pre-refactor cache stored — so a cached ``accel``
+system run round-trips bit-identically to a direct simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.serialize import report_from_dict, report_to_dict
+from repro.systems.base import SystemReport
+
+
+def system_report_to_dict(report: SystemReport) -> dict[str, Any]:
+    """Serialize to plain data (JSON-ready)."""
+    return {
+        "system": report.system,
+        "benchmark": report.benchmark,
+        "latency_ms": report.latency_ms,
+        "breakdown": dict(report.breakdown),
+        "detail": (
+            None if report.detail is None else report_to_dict(report.detail)
+        ),
+    }
+
+
+def system_report_from_dict(data: dict[str, Any]) -> SystemReport:
+    """Rebuild a report; raises ``KeyError``/``TypeError`` on malformed
+    data (the cache treats those as corrupt entries)."""
+    detail = data["detail"]
+    return SystemReport(
+        system=data["system"],
+        benchmark=data["benchmark"],
+        latency_ms=data["latency_ms"],
+        breakdown=dict(data["breakdown"]),
+        detail=None if detail is None else report_from_dict(detail),
+    )

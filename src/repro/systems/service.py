@@ -1,0 +1,67 @@
+"""Cached cross-system execution: the entry point the drivers use.
+
+:func:`run_system` is the cross-system sibling of
+:func:`repro.eval.accelerator.run_benchmark`: resolve the workload,
+prepare a plan on the named system, and answer from the caching layers
+(per-process memo, then the persistent
+:class:`~repro.exp.cache.ResultCache`) before executing.  The plan's
+content-hash key always names the system, so no two systems — and no
+two parameterizations of one system — ever share an entry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.exp.cache import DEFAULT_CACHE, lookup, store
+from repro.systems.base import ExecutionPlan, SystemReport, resolve_workload
+from repro.systems.registry import SystemOptions, create_system
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.observer import Observer
+
+
+def system_plan(
+    system: str | None,
+    benchmark_key: str,
+    seed: int = 0,
+    options: SystemOptions | None = None,
+    **overrides,
+) -> ExecutionPlan:
+    """Prepare (without executing) a benchmark on a named system.
+
+    The returned plan's :attr:`~repro.systems.base.ExecutionPlan.key`
+    is the result-cache key an execution would store under.
+    """
+    backend = create_system(system, options=options, **overrides)
+    return backend.prepare(resolve_workload(benchmark_key, seed=seed))
+
+
+def run_system(
+    system: str | None,
+    benchmark_key: str,
+    seed: int = 0,
+    options: SystemOptions | None = None,
+    cache: object = DEFAULT_CACHE,
+    observer: "Observer | None" = None,
+    **overrides,
+) -> SystemReport:
+    """Execute one benchmark on one system, through the caching layers.
+
+    ``observer`` attaches the :mod:`repro.obs` layer; metrics only exist
+    for an execution, so an observed request always executes — but it
+    stores its (identical) report under the same cache key a bare run
+    would use, exactly like the accelerator path.
+    """
+    backend = create_system(system, options=options, **overrides)
+    plan = backend.prepare(resolve_workload(benchmark_key, seed=seed))
+    key = plan.key
+    if observer is not None:
+        report = backend.execute(plan, observer=observer)
+        store(key, report, cache)
+        return report
+    report = lookup(key, cache)
+    if report is None:
+        report = backend.execute(plan)
+        store(key, report, cache)
+    return report

@@ -109,13 +109,13 @@ class TestConfigContentKeying:
         self, monkeypatch
     ):
         # Regression: run_benchmark used to memoize on the *name* of the
-        # configuration, so replacing a CONFIGURATIONS entry (as
+        # configuration, so replacing a registry entry (as
         # examples/design_sweeps.py encourages) silently returned the old
         # report.  Keys are content hashes of the resolved config now.
         import dataclasses
 
+        from repro.accel import config as accel_config
         from repro.accel.config import CPU_ISO_BW
-        from repro.eval import accelerator
 
         baseline = run_benchmark("gcn-cora", "CPU iso-BW", 2.4)
         starved = dataclasses.replace(
@@ -125,12 +125,8 @@ class TestConfigContentKeying:
             ),
         )
         assert starved.name == "CPU iso-BW"  # same name, different hardware
-        monkeypatch.setattr(
-            accelerator, "CONFIGURATIONS",
-            tuple(
-                starved if c.name == "CPU iso-BW" else c
-                for c in accelerator.CONFIGURATIONS
-            ),
+        monkeypatch.setitem(
+            accel_config.CONFIGURATIONS_BY_NAME, "CPU iso-BW", starved
         )
         report = run_benchmark("gcn-cora", "CPU iso-BW", 2.4)
         assert report is not baseline

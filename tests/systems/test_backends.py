@@ -1,0 +1,98 @@
+"""Per-backend fidelity: CPU/GPU vs Table VII, Eyeriss vs Section II."""
+
+import pytest
+
+from repro.baselines import (
+    CPU_MACHINE,
+    GPU_MACHINE,
+    TABLE7_MEASURED_MS,
+    estimate_latency_ms,
+)
+from repro.models.registry import benchmark_by_key, benchmark_workload
+from repro.obs.observer import Observer
+from repro.systems import (
+    UnsupportedWorkloadError,
+    create_system,
+    resolve_workload,
+    run_system,
+    system_report_from_dict,
+    system_report_to_dict,
+)
+
+FAST_BENCHMARKS = ("gcn-cora", "gat-cora", "pgnn-dblp_1")
+
+
+class TestBaselineSystems:
+    @pytest.mark.parametrize("benchmark_key", FAST_BENCHMARKS)
+    def test_measured_latencies_are_table7_rows(self, benchmark_key):
+        cpu_ms, gpu_ms = TABLE7_MEASURED_MS[benchmark_key]
+        assert run_system("cpu", benchmark_key).latency_ms == cpu_ms
+        assert run_system("gpu", benchmark_key).latency_ms == gpu_ms
+
+    @pytest.mark.parametrize(
+        "system, machine",
+        [("cpu", CPU_MACHINE), ("gpu", GPU_MACHINE)],
+    )
+    def test_modeled_latency_is_the_roofline_estimate(
+        self, system, machine
+    ):
+        report = run_system(system, "gcn-cora", measured=False)
+        workload = benchmark_workload(benchmark_by_key("gcn-cora"))
+        assert report.latency_ms == pytest.approx(
+            estimate_latency_ms(workload, machine)
+        )
+        assert report.breakdown["modeled_ms"] == report.latency_ms
+
+    def test_breakdown_carries_both_numbers(self):
+        report = run_system("cpu", "gcn-cora")
+        assert report.breakdown["measured_ms"] == report.latency_ms
+        assert report.breakdown["modeled_ms"] > 0
+        # Roofline terms ride along for the Table VII driver.
+        for term in ("dense_ms", "sparse_ms", "memory_ms"):
+            assert term in report.breakdown
+
+    def test_observer_snapshots_the_breakdown(self):
+        observer = Observer(
+            timeline=False, phases=False, kernel_profile=False
+        )
+        run_system("cpu", "gcn-cora", observer=observer, cache=None)
+        snapshot = observer.snapshot()
+        assert "system/cpu" in snapshot
+        counters = snapshot["system/cpu"]["counters"]
+        assert counters["latency_ms"] == TABLE7_MEASURED_MS["gcn-cora"][0]
+
+
+class TestEyerissSystem:
+    def test_matches_the_section2_study(self):
+        from repro.eval.section2 import section2_row
+
+        report = run_system("eyeriss", "gcn-cora")
+        row = section2_row("cora")
+        assert report.latency_ms == pytest.approx(row.limited_ms)
+        # The breakdown describes the bandwidth-limited run, like the
+        # Table II waste columns do.
+        assert report.breakdown["useful_traffic_fraction"] == pytest.approx(
+            row.useful_traffic_fraction
+        )
+
+    def test_rejects_non_gcn_workloads(self):
+        system = create_system("eyeriss")
+        with pytest.raises(UnsupportedWorkloadError) as excinfo:
+            system.prepare(resolve_workload("gat-cora"))
+        message = str(excinfo.value)
+        assert "gat-cora" in message
+        assert "gcn-cora" in message  # names the supported keys
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("system", ["cpu", "gpu", "eyeriss"])
+    def test_analytical_reports_round_trip(self, system):
+        report = run_system(system, "gcn-cora")
+        clone = system_report_from_dict(system_report_to_dict(report))
+        assert clone == report
+
+    def test_accel_report_round_trips_with_detail(self):
+        report = run_system("accel", "pgnn-dblp_1")
+        clone = system_report_from_dict(system_report_to_dict(report))
+        assert clone == report
+        assert clone.detail == report.detail

@@ -1,0 +1,76 @@
+"""Golden test: Table VII iso-bandwidth speedups via ExecutionBackend.
+
+``compare_golden.json`` pins the measured-baseline-over-accelerator
+speedup for every benchmark at the CPU iso-BW operating point
+(2.4 GHz, packet NoC), computed entirely through the systems layer:
+
+    speedup[system] = run_system(system, key).latency_ms
+                      / run_system("accel", key).latency_ms
+
+Regenerate after an intentional model change with::
+
+    PYTHONPATH=src python - <<'PY'
+    import json
+    from repro.models.registry import BENCHMARKS
+    from repro.systems import run_system
+    golden = {}
+    for b in BENCHMARKS:
+        accel = run_system("accel", b.key)
+        golden[b.key] = {
+            s: run_system(s, b.key).latency_ms / accel.latency_ms
+            for s in ("cpu", "gpu")
+        }
+    with open("tests/systems/compare_golden.json", "w") as f:
+        json.dump(golden, f, indent=2, sort_keys=True)
+        f.write("\n")
+    PY
+
+The band is 1% — tight enough to catch a broken normalization, loose
+enough to survive floating-point reassociation.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.models.registry import BENCHMARKS
+from repro.systems import run_system
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "compare_golden.json").read_text(
+        encoding="utf-8"
+    )
+)
+
+FAST_BENCHMARKS = ("gcn-cora", "pgnn-dblp_1")
+
+
+def _speedups(benchmark_key):
+    accel_ms = run_system("accel", benchmark_key).latency_ms
+    return {
+        system: run_system(system, benchmark_key).latency_ms / accel_ms
+        for system in ("cpu", "gpu")
+    }
+
+
+def test_golden_covers_every_benchmark():
+    assert sorted(GOLDEN) == sorted(b.key for b in BENCHMARKS)
+
+
+@pytest.mark.parametrize("benchmark_key", FAST_BENCHMARKS)
+def test_table7_speedups_fast_lane(benchmark_key):
+    expected = GOLDEN[benchmark_key]
+    for system, speedup in _speedups(benchmark_key).items():
+        assert speedup == pytest.approx(expected[system], rel=0.01)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "benchmark_key",
+    [b.key for b in BENCHMARKS if b.key not in FAST_BENCHMARKS],
+)
+def test_table7_speedups_full_set(benchmark_key):
+    expected = GOLDEN[benchmark_key]
+    for system, speedup in _speedups(benchmark_key).items():
+        assert speedup == pytest.approx(expected[system], rel=0.01)

@@ -1,0 +1,81 @@
+"""Workload resolution, plan fingerprints, and cache-key safety.
+
+The acceptance bar for the systems refactor: every cache fingerprint
+names the system that produced it, so per-system results can never
+poison each other in the shared result cache.
+"""
+
+import pytest
+
+from repro.accel.config import CPU_ISO_BW
+from repro.exp.cache import ResultCache, clear_memo, point_fingerprint
+from repro.systems import resolve_workload, run_system, system_plan
+
+SYSTEMS = ("accel", "cpu", "gpu", "eyeriss")
+
+
+class TestResolveWorkload:
+    def test_carries_graph_and_model_statistics(self):
+        workload = resolve_workload("gcn-cora")
+        assert workload.benchmark_key == "gcn-cora"
+        assert workload.family == "GCN"
+        assert workload.dataset == "cora"
+        assert workload.total_nodes == 2708
+        assert dict(workload.model_config)["family"] == "GCN"
+
+    def test_fingerprint_is_plain_data(self):
+        import json
+
+        fingerprint = resolve_workload("gcn-cora").fingerprint()
+        assert fingerprint["benchmark"] == "gcn-cora"
+        json.dumps(fingerprint)  # canonicalizable, hence hashable
+
+    def test_unknown_benchmark_lists_valid_keys(self):
+        with pytest.raises(KeyError) as excinfo:
+            resolve_workload("bert-wikipedia")
+        assert "gcn-cora" in str(excinfo.value)
+
+
+class TestCacheKeySafety:
+    def test_every_plan_fingerprint_names_its_system(self):
+        for system in SYSTEMS:
+            fingerprint = system_plan(system, "gcn-cora").fingerprint()
+            assert fingerprint["system"] == system
+
+    def test_accel_point_fingerprint_names_its_system(self):
+        fingerprint = point_fingerprint("gcn-cora", CPU_ISO_BW)
+        assert fingerprint["system"] == "accel"
+
+    def test_plan_keys_are_distinct_across_systems(self):
+        # Cache-poisoning regression: the same benchmark on different
+        # systems must hash to different cache entries.
+        keys = {
+            system_plan(system, "gcn-cora").key for system in SYSTEMS
+        }
+        assert len(keys) == len(SYSTEMS)
+
+    def test_cross_system_entries_round_trip_unmixed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cpu = run_system("cpu", "gcn-cora", cache=cache)
+        gpu = run_system("gpu", "gcn-cora", cache=cache)
+        assert cpu.latency_ms != gpu.latency_ms
+        # A fresh "process" (memo dropped) reloads both from disk and
+        # keeps them apart.
+        clear_memo()
+        assert run_system("cpu", "gcn-cora", cache=cache) == cpu
+        assert run_system("gpu", "gcn-cora", cache=cache) == gpu
+        clear_memo()  # drop the non-default-cache entries again
+
+    def test_system_reports_persist_with_a_kind_tag(self, tmp_path):
+        import json
+
+        cache = ResultCache(tmp_path)
+        report = run_system("eyeriss", "gcn-cora", cache=cache)
+        key = system_plan("eyeriss", "gcn-cora").key
+        payload = json.loads(
+            cache.path_for(key).read_text(encoding="utf-8")
+        )
+        assert payload["kind"] == "system"
+        clear_memo()
+        assert run_system("eyeriss", "gcn-cora", cache=cache) == report
+        clear_memo()

@@ -83,6 +83,38 @@ class TestParser:
             ["simulate", "gcn-cora"]
         ).noc_backend is None
 
+    def test_system_flag_everywhere(self):
+        parser = build_parser()
+        for argv in (
+            ["simulate", "gcn-cora", "--system", "cpu"],
+            ["profile", "gcn-cora", "--system", "cpu"],
+            ["sweep", "--system", "cpu"],
+        ):
+            assert parser.parse_args(argv).system == "cpu"
+
+    def test_system_defaults_to_none(self):
+        # None defers to the registry default (and thus $REPRO_SYSTEM).
+        assert build_parser().parse_args(
+            ["simulate", "gcn-cora"]
+        ).system is None
+
+    def test_compare_arguments(self):
+        args = build_parser().parse_args(
+            ["compare", "gcn-cora", "--systems", "cpu", "accel",
+             "--clock", "1.2", "--output", "/tmp/cmp.txt"]
+        )
+        assert args.benchmark == "gcn-cora"
+        assert args.systems == ["cpu", "accel"]
+        assert args.clock == 1.2
+        assert args.output == "/tmp/cmp.txt"
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "gcn-cora"])
+        assert list(args.systems) == []  # resolved to all registered
+        assert args.config == "CPU iso-BW"
+        assert args.clock == 2.4
+        assert args.output is None
+
 
 class TestCommands:
     def test_list(self, capsys):
@@ -123,22 +155,27 @@ class TestCommands:
         assert "2716" in capsys.readouterr().out
 
     def test_simulate_fast_benchmark(self, capsys):
-        assert main(["simulate", "pgnn-dblp_1"]) == 0
+        # --system accel pins the accelerator output path even when the
+        # suite runs under a $REPRO_SYSTEM override (CI systems-smoke).
+        assert main(["simulate", "pgnn-dblp_1", "--system", "accel"]) == 0
         out = capsys.readouterr().out
         assert "latency" in out
         assert "GPE utilization" in out
 
-    def test_simulate_unknown_benchmark(self):
-        with pytest.raises(KeyError):
-            main(["simulate", "bert-wikipedia"])
+    def test_simulate_unknown_benchmark_exits_2(self, capsys):
+        code = main(["simulate", "bert-wikipedia"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bert-wikipedia" in err
+        assert "gcn-cora" in err  # lists valid names
 
     def test_profile_prints_breakdown_and_writes_trace(self, capsys,
                                                        tmp_path):
         import json
 
         trace_path = tmp_path / "trace.json"
-        assert main(["profile", "pgnn-dblp_1", "--trace",
-                     str(trace_path)]) == 0
+        assert main(["profile", "pgnn-dblp_1", "--system", "accel",
+                     "--trace", str(trace_path)]) == 0
         out = capsys.readouterr().out
         assert "Utilization by unit class" in out
         assert "dna" in out
@@ -220,7 +257,7 @@ class TestCommands:
             assert name in err  # lists the valid names
 
     def test_simulate_on_analytical_backend(self, capsys):
-        assert main(["simulate", "pgnn-dblp_1",
+        assert main(["simulate", "pgnn-dblp_1", "--system", "accel",
                      "--noc-backend", "analytical"]) == 0
         assert "latency" in capsys.readouterr().out
 
@@ -230,7 +267,8 @@ class TestCommands:
         import json
 
         trace_path = tmp_path / "trace.json"
-        assert main(["profile", "pgnn-dblp_1", "--noc-backend", "analytical",
+        assert main(["profile", "pgnn-dblp_1", "--system", "accel",
+                     "--noc-backend", "analytical",
                      "--trace", str(trace_path)]) == 0
         assert "Utilization by unit class" in capsys.readouterr().out
         document = json.loads(trace_path.read_text(encoding="utf-8"))
@@ -240,6 +278,92 @@ class TestCommands:
             if event.get("ph") == "M"
         }
         assert any(str(track).startswith("noc/link/") for track in tracks)
+
+    def test_systems_lists_backends(self, capsys):
+        assert main(["systems"]) == 0
+        out = capsys.readouterr().out
+        for name in ("accel", "cpu", "gpu", "eyeriss"):
+            assert name in out
+        assert "(default)" in out
+        assert "Table VII" in out  # a fidelity note, not just names
+
+    def test_simulate_on_cpu_system(self, capsys):
+        assert main(["simulate", "gcn-cora", "--system", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "gcn-cora on cpu: 3.500 ms" in out
+        assert "measured_ms" in out  # breakdown table rides along
+
+    def test_simulate_system_from_environment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SYSTEM", "cpu")
+        assert main(["simulate", "gcn-cora"]) == 0
+        assert "gcn-cora on cpu" in capsys.readouterr().out
+
+    def test_unknown_system_exits_2(self, capsys):
+        code = main(["simulate", "gcn-cora", "--system", "tpu"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # one line, before any execution
+        assert "tpu" in err
+        for name in ("accel", "cpu", "gpu", "eyeriss"):
+            assert name in err  # lists the valid names
+
+    def test_simulate_unsupported_workload_exits_2(self, capsys):
+        code = main(["simulate", "gat-cora", "--system", "eyeriss"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "gcn-cora" in err  # names the supported keys
+
+    def test_profile_on_eyeriss_system(self, capsys):
+        assert main(["profile", "gcn-cora", "--system", "eyeriss"]) == 0
+        out = capsys.readouterr().out
+        assert "gcn-cora on eyeriss" in out
+        assert "eyeriss breakdown" in out
+        assert "pe_utilization" in out
+
+    def test_sweep_on_cpu_system(self, capsys):
+        assert main(["sweep", "--system", "cpu", "--benchmarks",
+                     "gcn-cora", "--jobs", "1", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "3.500" in out
+        assert "cpu" in out
+
+    def test_compare_prints_speedups(self, capsys):
+        assert main(["compare", "pgnn-dblp_1",
+                     "--systems", "accel", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "Speedup vs accel" in out
+        assert "0.90x" in out  # Table VII: PGNN sees a CPU slowdown
+
+    def test_compare_notes_unsupported_systems(self, capsys):
+        assert main(["compare", "gat-cora",
+                     "--systems", "cpu", "eyeriss"]) == 0
+        out = capsys.readouterr().out
+        assert "unsupported" in out  # the table cell
+        assert "note: eyeriss skipped" in out
+        # No accel run requested: speedup column degrades gracefully.
+        assert "-" in out
+
+    def test_compare_writes_output_file(self, capsys, tmp_path):
+        path = tmp_path / "comparison.txt"
+        assert main(["compare", "pgnn-dblp_1", "--systems", "cpu",
+                     "--output", str(path)]) == 0
+        text = path.read_text(encoding="utf-8")
+        assert "System" in text and "cpu" in text
+        assert str(path) in capsys.readouterr().out
+
+    def test_compare_unknown_benchmark_exits_2(self, capsys):
+        code = main(["compare", "bert-wikipedia"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "bert-wikipedia" in err
+        assert "gcn-cora" in err
+
+    def test_compare_unknown_system_exits_2(self, capsys):
+        code = main(["compare", "gcn-cora", "--systems", "npu"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "npu" in err
+        assert "eyeriss" in err
 
     def test_sweep_failure_exits_1(self, capsys, monkeypatch):
         """A sweep with failed points prints their summary and exits 1."""
