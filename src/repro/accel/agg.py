@@ -52,6 +52,13 @@ class Aggregator(Module):
         self._active: dict[int, _Aggregation] = {}
         self._alloc_waitlist: deque[tuple[int, Callable[[float, int], None]]] = deque()
         self._ids = itertools.count()
+        # Per-configuration constants, recomputed on configure():
+        # every active entry has the current width (configure() refuses
+        # to run with aggregations in flight), so the per-packet fold
+        # cost is a single memoized value rather than a ceil per packet.
+        self._fold_cycles = math.ceil(self._width_values / config.agg_alus)
+        self._grant_delay_ns = clock.cycles_to_ns(1)
+        self._ghz = clock.freq_ghz
 
     # -- layer configuration ------------------------------------------------
 
@@ -61,6 +68,7 @@ class Aggregator(Module):
             raise RuntimeError("cannot reconfigure with aggregations in flight")
         self._width_values = max(1, width_values)
         self._capacity = self.config.max_aggregations(self._width_values)
+        self._fold_cycles = math.ceil(self._width_values / self.config.agg_alus)
 
     @property
     def capacity(self) -> int:
@@ -82,17 +90,21 @@ class Aggregator(Module):
         self,
         expected_inputs: int,
         on_grant: Callable[[float, int], None],
+        now: float | None = None,
     ) -> None:
         """Allocate an aggregation expecting ``expected_inputs`` packets.
 
         ``on_grant(grant_ns, agg_id)`` fires when an entry is available
         (scratchpad allocation takes one cycle).  Zero-input aggregations
         complete immediately upon first use, so they are rejected here.
+        ``now`` overrides the request time for callers that track time
+        themselves (the fast-forward engine); it defaults to ``sim.now``.
         """
         if expected_inputs < 1:
             raise ValueError("aggregation needs at least one input")
         if len(self._active) + len(self._alloc_waitlist) < self._capacity:
-            self._grant(expected_inputs, on_grant, self.now)
+            self._grant(expected_inputs, on_grant,
+                        self.now if now is None else now)
         else:
             self.stats.add("alloc_stalls")
             self._alloc_waitlist.append((expected_inputs, on_grant))
@@ -112,7 +124,7 @@ class Aggregator(Module):
         )
         self._active[agg_id] = entry
         self.stats.add("allocations")
-        grant_ns = now + self.clock.cycles_to_ns(1)  # 1-cycle allocation
+        grant_ns = now + self._grant_delay_ns  # 1-cycle allocation
         on_grant(grant_ns, agg_id)
 
     def set_completion(
@@ -134,9 +146,8 @@ class Aggregator(Module):
         entry = self._active.get(agg_id)
         if entry is None:
             raise KeyError(f"no in-flight aggregation {agg_id}")
-        cycles = math.ceil(entry.width_values / self.config.agg_alus)
         _, finish = self.alu_bank.occupy(
-            arrival_ns, self.clock.cycles_to_ns(cycles)
+            arrival_ns, self._fold_cycles / self._ghz
         )
         self.stats.add("contributions")
         self.stats.add("values", entry.width_values)
@@ -166,12 +177,14 @@ class Aggregator(Module):
                 f"aggregation {agg_id} expects {entry.remaining} more "
                 f"inputs, got {count}"
             )
-        cycles = count * math.ceil(entry.width_values / self.config.agg_alus)
         _, finish = self.alu_bank.occupy(
-            arrival_ns, self.clock.cycles_to_ns(cycles)
+            arrival_ns, (count * self._fold_cycles) / self._ghz
         )
-        self.stats.add("contributions", count)
-        self.stats.add("values", count * entry.width_values)
+        counters = self.stats._counters
+        counters["contributions"] = counters.get("contributions", 0.0) + count
+        counters["values"] = (
+            counters.get("values", 0.0) + count * entry.width_values
+        )
         entry.remaining -= count
         if entry.remaining == 0:
             del self._active[agg_id]

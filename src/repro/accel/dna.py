@@ -51,6 +51,22 @@ class DnaUnit(Module):
         self.stats.add("macs", macs)
         return start, finish
 
+    def execute_ns(
+        self, duration_ns: float, macs: int, ready_ns: float
+    ) -> tuple[float, float]:
+        """:meth:`execute` with the service time precomputed by the caller.
+
+        ``duration_ns`` must equal ``service_ns(macs, efficiency)`` for
+        the job's layer; the runtime engine computes it once per task via
+        a vectorized per-layer table (the same two IEEE-754 divisions, so
+        the result is bit-identical to :meth:`execute`).
+        """
+        start, finish = self.tracker.occupy(ready_ns, duration_ns)
+        counters = self.stats._counters
+        counters["jobs"] = counters.get("jobs", 0.0) + 1.0
+        counters["macs"] = counters.get("macs", 0.0) + macs
+        return start, finish
+
     def utilization(self, elapsed_ns: float) -> float:
         """Array-busy fraction over ``elapsed_ns`` (the Figure 10 metric)."""
         return self.tracker.utilization(elapsed_ns)

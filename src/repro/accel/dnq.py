@@ -53,6 +53,9 @@ class DnnQueue(Module):
         self._reserve_waitlist: deque[Callable[[], None]] = deque()
         self._active_queue = 0
         self.num_queues = 2
+        # Lazy-switch penalty is a configuration constant; memoized so
+        # the (rare) switch path and the per-entry accounting stay cheap.
+        self._switch_ns = clock.cycles_to_ns(config.dnq_idle_switch_cycles)
 
     # -- layer configuration ------------------------------------------------
 
@@ -105,12 +108,15 @@ class DnnQueue(Module):
         efficiency: float,
         on_complete: Callable[[float], None],
         queue_id: int = 0,
+        duration_ns: float | None = None,
     ) -> None:
         """Mark a reserved entry ready and dispatch it to the DNA.
 
         ``ready_ns`` is when the last word's ready bit was set (the memory
         response finished arriving over the NoC).  The completion callback
-        receives the DNA finish time.
+        receives the DNA finish time.  ``duration_ns``, when given, is the
+        precomputed ``dna.service_ns(macs, efficiency)`` for this job (the
+        engine's per-layer table) and must match it bit-for-bit.
         """
         if not 0 <= queue_id < self.num_queues:
             raise ValueError(f"queue_id must be 0..{self.num_queues - 1}")
@@ -118,15 +124,19 @@ class DnnQueue(Module):
         if queue_id != self._active_queue:
             # Lazy switching: the eligible queue only changes after the
             # DNA has sat idle for the configured window.
-            ready = max(ready, self.dna.tracker.busy_until) + (
-                self.clock.cycles_to_ns(self.config.dnq_idle_switch_cycles)
-            )
+            ready = max(ready, self.dna.tracker.busy_until) + self._switch_ns
             self._active_queue = queue_id
             self.stats.add("queue_switches")
-        self.stats.add("entries")
-        start, finish = self.dna.execute(macs, efficiency, ready)
-        # The scratchpad slot frees once the DNA consumes the entry.
-        self.sim.schedule_at(max(start, self.now), self._release_slot)
+        counters = self.stats._counters
+        counters["entries"] = counters.get("entries", 0.0) + 1.0
+        if duration_ns is None:
+            start, finish = self.dna.execute(macs, efficiency, ready)
+        else:
+            start, finish = self.dna.execute_ns(duration_ns, macs, ready)
+        # The scratchpad slot frees once the DNA consumes the entry; the
+        # release is fire-and-forget, so it feeds the kernel's free-list.
+        release = start if start > self.now else self.now
+        self.sim.post_at(release, self._release_slot)
         on_complete(finish)
 
     def _release_slot(self) -> None:

@@ -40,7 +40,9 @@ class GraphPE(Module):
         self.costs = config.gpe_costs
         self.core = BusyTracker()
         self._free_threads = config.gpe_threads
-        self._thread_waitlist: deque[Callable[[], None]] = deque()
+        # Waiters take the grant time (ns) so a caller that already knows
+        # the release time can thread it through without reading sim.now.
+        self._thread_waitlist: deque[Callable[[float], None]] = deque()
 
     # -- issue server -----------------------------------------------------
 
@@ -58,6 +60,27 @@ class GraphPE(Module):
         self.stats.add("instructions", instructions)
         return finish
 
+    def issue_ns(
+        self, duration_ns: float, instructions: int, ready_ns: float
+    ) -> float:
+        """:meth:`issue` with the duration precomputed by the caller.
+
+        ``duration_ns`` must equal
+        ``clock.cycles_to_ns(instructions + context_switch_cycles)`` —
+        the runtime engine batches that arithmetic per layer (numpy over
+        all tasks at once) and hands the exact same float back here, so
+        results are bit-identical to per-call :meth:`issue` while the hot
+        loop skips the validation, the cycle math, and two counter-method
+        dispatches per runtime action.
+        """
+        _, finish = self.core.occupy(ready_ns, duration_ns)
+        counters = self.stats._counters
+        counters["issues"] = counters.get("issues", 0.0) + 1.0
+        counters["instructions"] = (
+            counters.get("instructions", 0.0) + instructions
+        )
+        return finish
+
     # -- software thread pool ----------------------------------------------
 
     @property
@@ -71,20 +94,35 @@ class GraphPE(Module):
 
     def acquire_thread(self, on_grant: Callable[[], None]) -> None:
         """Claim a software thread; grants FIFO when one is free."""
+        self.acquire_thread_at(lambda _grant_ns: on_grant())
+
+    def acquire_thread_at(self, on_grant: Callable[[float], None]) -> None:
+        """Claim a software thread; ``on_grant(grant_ns)`` fires FIFO.
+
+        ``grant_ns`` is the simulated time of the grant: the current time
+        for an immediate grant, or the release time passed to
+        :meth:`release_thread` for a deferred one.  On an event-driven
+        run both equal ``sim.now`` at the moment the callback runs; the
+        fast-forward engine threads its own clock through instead.
+        """
         if self._free_threads > 0:
             self._free_threads -= 1
             self.stats.add("thread_grants")
-            on_grant()
+            on_grant(self.now)
         else:
             self.stats.add("thread_stalls")
             self._thread_waitlist.append(on_grant)
 
-    def release_thread(self) -> None:
-        """Return a thread to the pool, waking the oldest waiter."""
+    def release_thread(self, now: float | None = None) -> None:
+        """Return a thread to the pool, waking the oldest waiter.
+
+        ``now`` is the simulated time of the release (defaults to
+        ``sim.now``); a woken waiter receives it as its grant time.
+        """
         if self._thread_waitlist:
             self.stats.add("thread_grants")
             waiter = self._thread_waitlist.popleft()
-            waiter()
+            waiter(self.now if now is None else now)
         else:
             self._free_threads += 1
             if self._free_threads > self.config.gpe_threads:

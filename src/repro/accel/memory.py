@@ -35,6 +35,12 @@ class MemoryController(Module):
         self.config = config
         self.channel = BusyTracker()
         self._completions: deque[float] = deque()
+        # Request sizes repeat heavily (a layer issues the same feature /
+        # block / burst sizes for every task), so the alignment and
+        # serialization arithmetic is memoized per size.  Values are the
+        # exact results of the original expressions — same operations,
+        # computed once.
+        self._size_memo: dict[int, tuple[int, float]] = {}
 
     def aligned_size(self, size_bytes: int) -> int:
         """Request size rounded up to the access granularity."""
@@ -43,6 +49,15 @@ class MemoryController(Module):
         gran = self.config.access_granularity_bytes
         return max(gran, math.ceil(size_bytes / gran) * gran)
 
+    def _size_terms(self, size_bytes: int) -> tuple[int, float]:
+        """Memoized ``(aligned_size, transfer_ns_per_request)``."""
+        terms = self._size_memo.get(size_bytes)
+        if terms is None:
+            aligned = self.aligned_size(size_bytes)
+            terms = (aligned, aligned / self.config.bandwidth_gbps)
+            self._size_memo[size_bytes] = terms
+        return terms
+
     def request(self, size_bytes: int, now: float, write: bool = False) -> float:
         """Issue a request; returns the completion time in ns.
 
@@ -50,26 +65,38 @@ class MemoryController(Module):
         serialized on the channel at the configured bandwidth (after
         alignment), and completes one fixed DRAM latency later.
         """
-        aligned = self.aligned_size(size_bytes)
+        aligned, transfer_ns = self._size_terms(size_bytes)
+        completions = self._completions
+        depth = self.config.queue_depth
         accept = now
-        if len(self._completions) >= self.config.queue_depth:
+        queue_stalled = False
+        if len(completions) >= depth:
             # In-order queue: the oldest outstanding request must finish
             # before this one can occupy its slot.
-            accept = max(
-                accept,
-                self._completions[-self.config.queue_depth],
-            )
-        transfer_ns = aligned / self.config.bandwidth_gbps
+            oldest = completions[-depth]
+            if oldest > accept:
+                accept = oldest
+                queue_stalled = True
         _, channel_done = self.channel.occupy(accept, transfer_ns)
         completion = channel_done + self.config.latency_ns
-        self._completions.append(completion)
-        if len(self._completions) > self.config.queue_depth:
-            self._completions.popleft()
-        self.stats.add("requests")
-        self.stats.add("writes" if write else "reads")
-        self.stats.add("bytes_requested", size_bytes)
-        self.stats.add("bytes_serviced", aligned)
-        self.stats.add("bytes_wasted", aligned - size_bytes)
+        completions.append(completion)
+        if len(completions) > depth:
+            completions.popleft()
+        counters = self.stats._counters
+        if queue_stalled:
+            counters["queue_stalls"] = counters.get("queue_stalls", 0.0) + 1.0
+        counters["requests"] = counters.get("requests", 0.0) + 1.0
+        kind = "writes" if write else "reads"
+        counters[kind] = counters.get(kind, 0.0) + 1.0
+        counters["bytes_requested"] = (
+            counters.get("bytes_requested", 0.0) + size_bytes
+        )
+        counters["bytes_serviced"] = (
+            counters.get("bytes_serviced", 0.0) + aligned
+        )
+        counters["bytes_wasted"] = (
+            counters.get("bytes_wasted", 0.0) + (aligned - size_bytes)
+        )
         return completion
 
     def request_scatter(
@@ -89,22 +116,52 @@ class MemoryController(Module):
             raise ValueError("request count cannot be negative")
         if count == 0:
             return now
-        aligned_each = self.aligned_size(size_each_bytes)
+        aligned_each = self._size_terms(size_each_bytes)[0]
+        completions = self._completions
+        depth = self.config.queue_depth
         accept = now
-        if len(self._completions) >= self.config.queue_depth:
-            accept = max(accept, self._completions[-self.config.queue_depth])
+        queue_stalled = False
+        if len(completions) >= depth:
+            oldest = completions[-depth]
+            if oldest > accept:
+                accept = oldest
+                queue_stalled = True
         transfer_ns = count * aligned_each / self.config.bandwidth_gbps
         _, channel_done = self.channel.occupy(accept, transfer_ns)
         completion = channel_done + self.config.latency_ns
-        self._completions.append(completion)
-        if len(self._completions) > self.config.queue_depth:
-            self._completions.popleft()
-        self.stats.add("requests", count)
-        self.stats.add("writes" if write else "reads", count)
-        self.stats.add("bytes_requested", count * size_each_bytes)
-        self.stats.add("bytes_serviced", count * aligned_each)
-        self.stats.add("bytes_wasted", count * (aligned_each - size_each_bytes))
+        completions.append(completion)
+        if len(completions) > depth:
+            completions.popleft()
+        counters = self.stats._counters
+        if queue_stalled:
+            counters["queue_stalls"] = counters.get("queue_stalls", 0.0) + 1.0
+        counters["requests"] = counters.get("requests", 0.0) + count
+        kind = "writes" if write else "reads"
+        counters[kind] = counters.get(kind, 0.0) + count
+        counters["bytes_requested"] = (
+            counters.get("bytes_requested", 0.0) + count * size_each_bytes
+        )
+        counters["bytes_serviced"] = (
+            counters.get("bytes_serviced", 0.0) + count * aligned_each
+        )
+        counters["bytes_wasted"] = (
+            counters.get("bytes_wasted", 0.0)
+            + count * (aligned_each - size_each_bytes)
+        )
         return completion
+
+    def queue_full(self, now: float) -> bool:
+        """True if the in-order queue would delay a request issued at ``now``.
+
+        Contention probe for the engine's fast-forward eligibility check:
+        a full queue means new requests serialize behind outstanding
+        completions, so their acceptance order matters.
+        """
+        completions = self._completions
+        depth = self.config.queue_depth
+        return (
+            len(completions) >= depth and completions[-depth] > now
+        )
 
     # -- reporting ---------------------------------------------------------
 

@@ -40,6 +40,7 @@ def resolve_benchmark_config(
     config_name: str = "CPU iso-BW",
     clock_ghz: float = 2.4,
     noc_backend: str | None = None,
+    fast_forward: bool = False,
 ) -> tuple[Benchmark, AcceleratorConfig]:
     """Resolve user-facing names to registry objects, in one place.
 
@@ -53,6 +54,8 @@ def resolve_benchmark_config(
     config = configuration_by_name(config_name).with_clock(clock_ghz)
     if noc_backend is not None:
         config = config.with_noc_backend(noc_backend)
+    if fast_forward:
+        config = config.with_fast_forward()
     return benchmark, config
 
 
@@ -102,6 +105,7 @@ def run_benchmark(
     clock_ghz: float = 2.4,
     observer: "Observer | None" = None,
     noc_backend: str | None = None,
+    fast_forward: bool = False,
 ) -> SimulationReport:
     """Simulate one benchmark on one Table VI configuration.
 
@@ -114,9 +118,12 @@ def run_benchmark(
     configuration's own (default: ``"packet"``, or
     ``$REPRO_NOC_BACKEND``).  The backend is part of the cache
     fingerprint, so fidelities never share cached reports.
+    ``fast_forward`` enables the engine's approximate contention-free
+    scheduling mode; it is part of the fingerprint too, so approximate
+    runs never shadow exact ones.
     """
     _, config = resolve_benchmark_config(
-        benchmark_key, config_name, clock_ghz, noc_backend
+        benchmark_key, config_name, clock_ghz, noc_backend, fast_forward
     )
     return run_config(benchmark_key, config, observer=observer)
 

@@ -20,7 +20,10 @@ allocation, DNQ slots, data arrivals).
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.accel.config import AcceleratorConfig
 from repro.accel.system import Accelerator
@@ -78,6 +81,54 @@ class DeadlockError(SimulationFailure):
     """The event queue drained with vertex tasks still unfinished."""
 
 
+class _LayerPlan:
+    """Precomputed per-task duration tables for one layer.
+
+    The per-task arithmetic of every phase is a pure function of the
+    (immutable) task and the (per-layer) configuration, so it is hoisted
+    out of the event handlers and computed for all tasks at once with
+    numpy.  Elementwise float64 division and integer-valued addition are
+    correctly rounded exactly like the scalar expressions they replace,
+    so the tables are bit-identical to the per-event math — the golden
+    report tests pin this.
+    """
+
+    __slots__ = ("ctrl_ns", "load_ns", "agg_issue_ns", "dnq_issue_ns",
+                 "dna_ns")
+
+    def __init__(self, engine: "RuntimeEngine", layer: LayerProgram) -> None:
+        tasks = layer.tasks
+        n = len(tasks)
+        ghz = engine._ghz
+        cs = engine._cs
+        # issue(control_instructions): (instructions + cs) / ghz
+        ctrl = np.fromiter(
+            (t.control_instructions for t in tasks), np.float64, count=n
+        )
+        self.ctrl_ns = ((ctrl + cs) / ghz).tolist()
+        # issue(instructions_per_load) ahead of the block load
+        self.load_ns = (engine._ipl + cs) / ghz
+        # aggregate-phase issue: gather_count * ipl + ipa instructions
+        gather = np.fromiter(
+            (t.gather_count for t in tasks), np.float64, count=n
+        )
+        self.agg_issue_ns = (
+            (gather * engine._ipl + (engine._ipa + cs)) / ghz
+        ).tolist()
+        # DNQ allocation-bus issue
+        self.dnq_issue_ns = (engine._ipa + cs) / ghz
+        # DNA service times: macs / (num_pes * efficiency) cycles.  The
+        # two chained divisions mirror DnaUnit.service_ns exactly.
+        efficiency = layer.dna_efficiency
+        if not 0 < efficiency <= 1:
+            raise ValueError(
+                f"efficiency must be in (0, 1], got {efficiency}"
+            )
+        throughput = engine.accel.tiles[0].dna.array.num_pes * efficiency
+        macs = np.fromiter((t.dna_macs for t in tasks), np.float64, count=n)
+        self.dna_ns = ((macs / throughput) / ghz).tolist()
+
+
 class RuntimeEngine:
     """Runs accelerator programs and produces simulation reports.
 
@@ -108,6 +159,33 @@ class RuntimeEngine:
         self._layer_end = 0.0
         self._tasks_remaining = 0
         self._program_name = ""
+        # Hot-path constants: every tile shares one clock and one GPE
+        # cost model (they come from the same AcceleratorConfig), so the
+        # per-layer duration tables are computed once for all tiles.
+        tile0 = accel.tiles[0]
+        costs = tile0.gpe.costs
+        self._ghz = tile0.gpe.clock.freq_ghz
+        self._cs = costs.context_switch_cycles
+        self._ipv = costs.instructions_per_visit
+        self._ipl = costs.instructions_per_load
+        self._ipa = costs.instructions_per_alloc
+        # Traversal rounds repeat the same neighbour counts across tasks
+        # (the degree distribution), so issue durations memoize by count.
+        self._visit_memo: dict[int, float] = {}
+        self._plan: _LayerPlan | None = None
+        # Fast-forward state (config.fast_forward): a FIFO of inline
+        # continuations drained iteratively so closed-form chains never
+        # recurse through the whole thread waitlist, plus the engine's
+        # own notion of "now" while draining (sim.now is stale inline).
+        self._ff = accel.config.fast_forward
+        self._inline_q: deque = deque()
+        self._draining = False
+        self._inline_now: float | None = None
+
+    def _now_ns(self) -> float:
+        """Current time: the inline clock while fast-forwarding, else sim.now."""
+        inline = self._inline_now
+        return self.sim.now if inline is None else inline
 
     def _trace(self, layer, task, phase: str, tile, t: float) -> None:
         if self.tracer is not None:
@@ -153,15 +231,19 @@ class RuntimeEngine:
             tile.configure_layer(layer.dnq_entry_bytes, layer.agg_width_values)
         self._layer_end = start_ns
         self._tasks_remaining = len(layer.tasks)
-        for task in layer.tasks:
-            tile = self.accel.tile_of(task.vertex)
-            self.sim.schedule_at(
-                max(start_ns, self.sim.now),
-                self._enqueue_task,
-                tile,
-                task,
-                layer,
-            )
+        self._plan = _LayerPlan(self, layer)
+        # All tasks enqueue at the same timestamp, so the whole storm is
+        # one bulk schedule: a single heap entry drained in one dispatch,
+        # preserving per-task order exactly.
+        enqueue = self._enqueue_task
+        tile_of = self.accel.tile_of
+        self.sim.post_bulk(
+            max(start_ns, self.sim.now),
+            [
+                (enqueue, (tile_of(task.vertex), task, layer, i))
+                for i, task in enumerate(layer.tasks)
+            ],
+        )
         watchdog = self.accel.config.watchdog.build()
         try:
             self.sim.run(watchdog=watchdog, profiler=self._profiler)
@@ -256,10 +338,10 @@ class RuntimeEngine:
         return suspects
 
     def _enqueue_task(
-        self, tile: Tile, task: VertexTask, layer: LayerProgram
+        self, tile: Tile, task: VertexTask, layer: LayerProgram, i: int
     ) -> None:
-        tile.gpe.acquire_thread(
-            lambda: self._start_task(tile, task, layer)
+        tile.gpe.acquire_thread_at(
+            lambda grant_ns: self._start_task(tile, task, layer, i, grant_ns)
         )
 
     # -- one vertex program ------------------------------------------------------
@@ -272,31 +354,106 @@ class RuntimeEngine:
         reservations happen at their true issue time; reserving a unit at
         a far-future timestamp would falsely head-of-line block requests
         issued (in real time) before it.
+
+        Fast-forward mode (``AcceleratorConfig.fast_forward``) skips the
+        event round-trip when doing so cannot change what runs next: the
+        continuation must be the kernel's very next dispatch anyway
+        (:meth:`~repro.sim.kernel.Simulator.inline_safe` — strictly
+        earlier than the heap head, no bulk-dispatch remainder in
+        flight) and no contention may be visible (:meth:`_ff_ok`).
+        Eligible continuations run inline at their closed-form
+        timestamp, queued through a FIFO drained iteratively by the
+        outermost frame so a chain of back-to-back tasks (thread grant →
+        phases → retire → next grant) advances the clock without either
+        kernel events or unbounded recursion.  Every condition is
+        re-checked per drained item — a chain that posts heap events or
+        creates contention falls back to the event queue mid-stream.
+        Callbacks receive their fire time as an argument and the
+        engine's inline clock stands in for ``sim.now``.
         """
-        self.sim.schedule_at(max(t, self.sim.now), callback, *args)
+        sim = self.sim
+        now = sim.now
+        fire = t if t > now else now
+        queue = self._inline_q
+        if self._ff and (
+            (not queue or fire >= queue[-1][0])
+            and sim.inline_safe(fire)
+            and self._ff_ok()
+        ):
+            queue.append((fire, callback, args))
+            if not self._draining:
+                self._draining = True
+                try:
+                    while queue:
+                        at, cb, cb_args = queue.popleft()
+                        if sim.inline_safe(at) and self._ff_ok():
+                            self._inline_now = at
+                            cb(*cb_args)
+                        else:
+                            sim.post_at(at, cb, *cb_args)
+                finally:
+                    self._draining = False
+                    self._inline_now = None
+            return
+        sim.post_at(fire, callback, *args)
+
+    def _ff_ok(self) -> bool:
+        """True when closed-form advancement is currently contention-free.
+
+        Thread-pool queueing is deliberately *not* contention: grants are
+        timestamped explicitly, and the serial GPE core folds queued
+        tasks FIFO either way.  What disqualifies fast-forward is any
+        state where the *order* requests reach a shared unit changes the
+        result: AGG entries or DNQ slots with waiters, a NoC link
+        reserved into the future (packet serialization or a fault
+        blackout), or a memory controller whose in-order queue is full.
+        """
+        now = self._now_ns()
+        for tile in self.accel.tiles:
+            if tile.agg._alloc_waitlist or tile.dnq._reserve_waitlist:
+                return False
+        for memory in self.accel.memories:
+            if memory.queue_full(now):
+                return False
+        return not self.accel.noc.any_link_busy(now)
 
     def _start_task(
-        self, tile: Tile, task: VertexTask, layer: LayerProgram
+        self, tile: Tile, task: VertexTask, layer: LayerProgram, i: int,
+        t: float,
     ) -> None:
-        """Phases 1-2: control and the asynchronous structure read."""
-        costs = tile.gpe.costs
-        self._trace(layer, task, "start", tile, self.sim.now)
-        t = tile.gpe.issue(task.control_instructions, self.sim.now)
+        """Phases 1-2: control and the asynchronous structure read.
+
+        ``t`` is the thread-grant time (equal to ``sim.now`` on an
+        event-driven run).
+        """
+        plan = self._plan
+        self._trace(layer, task, "start", tile, t)
+        t = tile.gpe.issue_ns(plan.ctrl_ns[i], task.control_instructions, t)
         if task.block_load_bytes:
-            t = tile.gpe.issue(costs.instructions_per_load, t)
+            t = tile.gpe.issue_ns(plan.load_ns, self._ipl, t)
             arrival = self.accel.memory_read(
                 task.vertex, task.block_load_bytes, t, tile.coord
             )
-            self._at(arrival, self._traversal_phase, tile, task, layer, 0,
-                     arrival)
+            self._at(arrival, self._traversal_phase, tile, task, layer, i,
+                     0, arrival)
         else:
-            self._traversal_phase(tile, task, layer, 0, t)
+            self._traversal_phase(tile, task, layer, i, 0, t)
+
+    def _visit_ns(self, count: int) -> float:
+        """Memoized duration of one traversal-round issue."""
+        memo = self._visit_memo
+        ns = memo.get(count)
+        if ns is None:
+            ns = (count * self._ipv + self._cs) / self._ghz
+            memo[count] = ns
+        return ns
 
     def _traversal_phase(
         self,
         tile: Tile,
         task: VertexTask,
         layer: LayerProgram,
+        i: int,
         index: int,
         t: float,
     ) -> None:
@@ -305,27 +462,33 @@ class RuntimeEngine:
         ``t`` is the ready time carried from the previous phase (at most a
         GPE-queue lookahead past the current event time).
         """
-        while index < len(task.traversal) and task.traversal[index].count == 0:
+        traversal = task.traversal
+        rounds = len(traversal)
+        while index < rounds and traversal[index].count == 0:
             index += 1
-        if index < len(task.traversal):
-            tround = task.traversal[index]
-            issue_done = tile.gpe.issue(
-                tround.count * tile.gpe.costs.instructions_per_visit,
-                max(t, self.sim.now),
+        now = self._now_ns()
+        if t < now:
+            t = now
+        if index < rounds:
+            tround = traversal[index]
+            count = tround.count
+            issue_done = tile.gpe.issue_ns(
+                self._visit_ns(count), count * self._ipv, t
             )
             arrival = self.accel.gather_read(
-                tround.count, tround.bytes_each, issue_done, tile.coord
+                count, tround.bytes_each, issue_done, tile.coord
             )
-            self._at(arrival, self._traversal_phase, tile, task, layer,
+            self._at(arrival, self._traversal_phase, tile, task, layer, i,
                      index + 1, arrival)
             return
         if task.has_aggregation:
-            self._aggregate_phase(tile, task, layer, max(t, self.sim.now))
+            self._aggregate_phase(tile, task, layer, i, t)
         else:
-            self._dna_phase(tile, task, layer, max(t, self.sim.now))
+            self._dna_phase(tile, task, layer, i, t)
 
     def _aggregate_phase(
-        self, tile: Tile, task: VertexTask, layer: LayerProgram, t: float
+        self, tile: Tile, task: VertexTask, layer: LayerProgram, i: int,
+        t: float,
     ) -> None:
         """Phase 4: allocate an AGG entry, gather inputs, reduce.
 
@@ -334,10 +497,9 @@ class RuntimeEngine:
         entry exists) and the indirect gather reads issued here.
         """
         self._trace(layer, task, "aggregate", tile, t)
-        costs = tile.gpe.costs
-        issue_done = tile.gpe.issue(
-            task.gather_count * costs.instructions_per_load
-            + costs.instructions_per_alloc,
+        issue_done = tile.gpe.issue_ns(
+            self._plan.agg_issue_ns[i],
+            task.gather_count * self._ipl + self._ipa,
             t,
         )
 
@@ -353,59 +515,56 @@ class RuntimeEngine:
                     task.gather_count, task.gather_bytes_each, start,
                     tile.coord,
                 )
-                self.sim.schedule_at(
-                    max(arrival, self.sim.now), reduce_batch, agg_id
-                )
+                self._at(arrival, reduce_batch, arrival, agg_id)
             else:
                 # Traversal-only aggregation: already complete.
-                self._dna_phase(tile, task, layer, local_done)
+                self._dna_phase(tile, task, layer, i, local_done)
 
-        def reduce_batch(agg_id: int) -> None:
+        def reduce_batch(at: float, agg_id: int) -> None:
             finish = tile.agg.contribute_batch(
-                agg_id, self.sim.now, task.gather_count
+                agg_id, at, task.gather_count
             )
-            self._dna_phase(tile, task, layer, finish)
+            self._dna_phase(tile, task, layer, i, finish)
 
-        tile.agg.alloc(task.expected_inputs, on_grant)
+        # The allocation-bus request goes out at the current event time
+        # (the issue above is queued work, not a dependency).
+        tile.agg.alloc(task.expected_inputs, on_grant, now=self._now_ns())
 
     def _dna_phase(
-        self, tile: Tile, task: VertexTask, layer: LayerProgram, t: float
+        self, tile: Tile, task: VertexTask, layer: LayerProgram, i: int,
+        t: float,
     ) -> None:
         """Phase 5: stage the vertex's dense job through DNQ to the DNA."""
         if not task.has_dna_job:
             self._finish_task(tile, task, t, layer)
             return
         self._trace(layer, task, "dna", tile, t)
-        costs = tile.gpe.costs
-        issue_done = tile.gpe.issue(costs.instructions_per_alloc, t)
+        issue_done = tile.gpe.issue_ns(self._plan.dnq_issue_ns, self._ipa, t)
+        dna_ns = self._plan.dna_ns[i]
 
         def on_slot() -> None:
-            fetch_start = max(issue_done, self.sim.now)
+            fetch_start = max(issue_done, self._now_ns())
             if task.feature_bytes:
                 arrival = self.accel.memory_read(
                     task.vertex, task.feature_bytes, fetch_start, tile.coord
                 )
             else:
                 arrival = fetch_start
-            self.sim.schedule_at(max(arrival, self.sim.now), fill)
+            self._at(arrival, fill, arrival)
 
-        def fill() -> None:
+        def fill(at: float) -> None:
             tile.dnq.fill(
-                self.sim.now,
+                at,
                 task.dna_macs,
                 layer.dna_efficiency,
                 # Re-enter at the DNA finish time so the writeback reserves
                 # the memory channel at its actual issue time (a far-future
                 # reservation would head-of-line block earlier reads).
-                on_complete=lambda finish: self.sim.schedule_at(
-                    max(finish, self.sim.now),
-                    self._finish_task,
-                    tile,
-                    task,
-                    finish,
-                    layer,
+                on_complete=lambda finish: self._at(
+                    finish, self._finish_task, tile, task, finish, layer
                 ),
                 queue_id=task.dnq_queue,
+                duration_ns=dna_ns,
             )
 
         tile.dnq.reserve(on_slot)
@@ -426,13 +585,11 @@ class RuntimeEngine:
             )
         if t > self._layer_end:
             self._layer_end = t
-        self.sim.schedule_at(
-            max(t, self.sim.now), self._retire_task, tile
-        )
+        self._at(t, self._retire_task, t, tile)
 
-    def _retire_task(self, tile: Tile) -> None:
+    def _retire_task(self, at: float, tile: Tile) -> None:
         self._tasks_remaining -= 1
-        tile.gpe.release_thread()
+        tile.gpe.release_thread(now=at)
 
     # -- reporting -------------------------------------------------------------
 

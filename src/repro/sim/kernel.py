@@ -4,14 +4,53 @@ A :class:`Simulator` owns a priority queue of :class:`Event` objects.
 Events scheduled for the same timestamp fire in scheduling order, which
 makes runs deterministic for a fixed workload (a property the test suite
 relies on).
+
+Fast path
+---------
+
+The kernel has two mechanically different but observably identical
+execution modes:
+
+* the **fast path** (default) — slotted events drawn from a free-list,
+  same-timestamp bulk schedules (:meth:`Simulator.post_bulk`) stored as
+  one heap entry and drained in one dispatch, and a run loop specialised
+  for the common flag combinations;
+* the **reference path** (``Simulator(fastpath=False)`` or
+  ``$REPRO_SIM_FASTPATH=0``) — the seed per-event loop: one heap entry
+  per event, no recycling, no batching.
+
+Both paths fire the same callbacks in the same order at the same
+simulated timestamps (``tests/sim/test_fastpath_identity.py`` proves
+reports field-for-field identical; ``tests/sim/test_event_queue_properties.py``
+property-tests the ordering on adversarial schedules).
+
+Free-list contract: only events created through :meth:`Simulator.post`,
+:meth:`Simulator.post_at`, and :meth:`Simulator.post_bulk` — calls that
+never hand the event object to the caller — are recycled.  Events
+returned by :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`
+are never reused, so a held reference stays valid for
+:meth:`Event.cancel` forever.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+import os
 from time import perf_counter
 from typing import Any, Callable, Protocol
+
+#: Environment variable selecting the kernel execution mode for newly
+#: created simulators: any value other than ``"0"`` (or unset) enables
+#: the fast path.  The differential test tier flips this to pit the two
+#: implementations against each other.
+FASTPATH_ENV = "REPRO_SIM_FASTPATH"
+
+_INF = float("inf")
+
+
+def default_fastpath() -> bool:
+    """Fast path unless ``$REPRO_SIM_FASTPATH`` is exactly ``"0"``."""
+    return os.environ.get(FASTPATH_ENV, "1") != "0"
 
 
 class SimulationError(RuntimeError):
@@ -54,24 +93,56 @@ def describe_callback(callback: Callable[..., None]) -> str:
     return getattr(callback, "__qualname__", repr(callback))
 
 
-@dataclass(order=True)
 class Event:
     """A single scheduled callback.
 
     Events order by ``(time, seq)``; ``seq`` is a monotonically increasing
     tie-breaker assigned by the simulator so same-time events fire in the
-    order they were scheduled.
+    order they were scheduled.  ``__slots__`` plus the hand-written
+    ``__lt__`` keep heap maintenance cheap — the comparison is the single
+    hottest operation of a simulation (millions of calls per run).
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_recycle")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: tuple[Any, ...] = (),
+        cancelled: bool = False,
+    ) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = cancelled
+        self._recycle = False
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def cancel(self) -> None:
-        """Mark the event so the kernel skips it when it is popped."""
+        """Mark the event so the kernel skips it when it is popped.
+
+        Only meaningful for *pending* events.  Cancelling an event after
+        it fired was always a silent no-op; under the fast path's
+        free-list it stays one for events obtained from
+        :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`
+        (those are never recycled, exactly so a stale ``cancel`` cannot
+        hit an unrelated reused event).
+        """
         self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"Event(t={self.time:g}, seq={self.seq}, "
+            f"{describe_callback(self.callback)}{state})"
+        )
 
 
 class Simulator:
@@ -82,14 +153,27 @@ class Simulator:
         sim = Simulator()
         sim.schedule(10.0, handler, arg1, arg2)   # fire 10 ns from now
         sim.run()
+
+    ``fastpath`` selects the execution mode (see the module docstring);
+    ``None`` reads ``$REPRO_SIM_FASTPATH``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, fastpath: bool | None = None) -> None:
         self._queue: list[Event] = []
         self._now = 0.0
         self._seq = 0
         self._events_fired = 0
         self._running = False
+        self.fastpath = default_fastpath() if fastpath is None else fastpath
+        # Free-list of recyclable events (post/post_at/post_bulk only).
+        self._free: list[Event] = []
+        # Items of the currently-draining bulk dispatch still waiting to
+        # run (excluding the one executing); see :meth:`inline_safe`.
+        self._batch_pending = 0
+        # Single bound-method instance marking bulk-post heap entries:
+        # accessing ``self._run_batch`` creates a fresh bound object each
+        # time, so identity checks must go through this stable reference.
+        self._batch_marker = self._run_batch
 
     @property
     def now(self) -> float:
@@ -98,7 +182,7 @@ class Simulator:
 
     @property
     def events_fired(self) -> int:
-        """Number of events executed so far."""
+        """Number of events executed so far (batch items count singly)."""
         return self._events_fired
 
     @property
@@ -107,13 +191,23 @@ class Simulator:
 
         Cancelled events stay queued until their timestamp is reached and
         the kernel pops (and skips) them, so this counts them too; use
-        :meth:`pending_active` to exclude them.
+        :meth:`pending_active` to exclude them.  A bulk schedule counts
+        once per undispatched item.
         """
-        return len(self._queue)
+        return sum(self._event_weight(event) for event in self._queue)
 
     def pending_active(self) -> int:
         """Number of queued events that will actually fire."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        return sum(
+            self._event_weight(event)
+            for event in self._queue
+            if not event.cancelled
+        )
+
+    def _event_weight(self, event: Event) -> int:
+        if event.callback is self._batch_marker:
+            return len(event.args[0])
+        return 1
 
     def pending_by_owner(self) -> dict[str, int]:
         """Non-cancelled queued events grouped by owning component.
@@ -129,9 +223,16 @@ class Simulator:
         for event in self._queue:
             if event.cancelled:
                 continue
+            if event.callback is self._batch_marker:
+                for callback, _args in event.args[0]:
+                    owner = describe_callback(callback)
+                    counts[owner] = counts.get(owner, 0) + 1
+                continue
             owner = describe_callback(event.callback)
             counts[owner] = counts.get(owner, 0) + 1
         return counts
+
+    # -- scheduling ---------------------------------------------------------
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` to fire ``delay`` ns from now."""
@@ -140,15 +241,114 @@ class Simulator:
         return self.schedule_at(self._now + delay, callback, *args)
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Event:
-        """Schedule ``callback(*args)`` to fire at absolute time ``time`` ns."""
+        """Schedule ``callback(*args)`` to fire at absolute time ``time`` ns.
+
+        The returned :class:`Event` stays valid (for :meth:`Event.cancel`)
+        indefinitely — events created here are never recycled.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule at {time} ns; current time is {self._now} ns"
             )
-        event = Event(time=time, seq=self._seq, callback=callback, args=args)
+        event = Event(time, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def post(self, delay: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule`: no handle, event recyclable."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self.post_at(self._now + delay, callback, *args)
+
+    def post_at(self, time: float, callback: Callable[..., None], *args: Any) -> None:
+        """Fire-and-forget :meth:`schedule_at` feeding the event free-list.
+
+        Returns nothing, so the kernel is the only holder of the event
+        object and may recycle it after dispatch.  Hot callers (the
+        runtime engine, module-internal continuations) use this to kill
+        per-event allocation; anything that might need to cancel must use
+        :meth:`schedule_at`.
+        """
+        now = self._now
+        if time < now:
+            raise SimulationError(
+                f"cannot schedule at {time} ns; current time is {now} ns"
+            )
+        free = self._free
+        if self.fastpath and free:
+            event = free.pop()
+            event.time = time
+            event.seq = self._seq
+            event.callback = callback
+            event.args = args
+        else:
+            event = Event(time, self._seq, callback, args)
+            # Reference mode allocates a fresh, never-recycled event per
+            # post, exactly like the seed loop.
+            event._recycle = self.fastpath
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+
+    def post_bulk(
+        self,
+        time: float,
+        items: list[tuple[Callable[..., None], tuple[Any, ...]]],
+    ) -> None:
+        """Schedule many ``callback(*args)`` items at one timestamp.
+
+        Semantically identical to ``post_at(time, cb, *args)`` per item in
+        list order.  On the fast path the whole run is stored as a single
+        heap entry and drained in one dispatch: because any event
+        scheduled *after* this call receives a larger ``seq``, every item
+        of the batch is ordered before it, so draining the batch without
+        consulting the heap between items preserves the global
+        (time, seq) order exactly.
+        """
+        if not items:
+            return
+        if not self.fastpath:
+            for callback, args in items:
+                self.post_at(time, callback, *args)
+            return
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time} ns; current time is {self._now} ns"
+            )
+        event = Event(time, self._seq, self._batch_marker, (items,))
+        # One seq per item keeps later individually-scheduled events
+        # ordered after the whole batch, exactly as per-item posts would.
+        self._seq += len(items)
+        heapq.heappush(self._queue, event)
+
+    def inline_safe(self, time: float) -> bool:
+        """True if running a callback at ``time`` *right now* cannot
+        reorder anything the kernel has queued.
+
+        Holds when no same-batch items are still waiting to dispatch and
+        ``time`` is strictly earlier than the next heap entry (or the
+        heap is empty) — i.e. the callback would be the very next thing
+        the run loop dispatched anyway.  The engine's fast-forward mode
+        uses this to run continuation chains inline without changing the
+        global (time, seq) dispatch order.
+        """
+        if self._batch_pending:
+            return False
+        queue = self._queue
+        return not queue or time < queue[0].time
+
+    def _recycle(self, event: Event) -> None:
+        """Reset a fired recyclable event and return it to the free-list.
+
+        Clearing ``callback``/``args`` both prevents state leaking into
+        the next reuse and drops references so arguments are collectable.
+        """
+        event.callback = _UNSET
+        event.args = ()
+        event.cancelled = False
+        self._free.append(event)
+
+    # -- run loops ----------------------------------------------------------
 
     def run(
         self,
@@ -177,53 +377,243 @@ class Simulator:
         self._running = True
         run_start = perf_counter() if profiler is not None else 0.0
         try:
-            fired = 0
-            while self._queue:
-                event = self._queue[0]
-                if until is not None and event.time > until:
-                    self._now = until
-                    break
-                if event.cancelled:
-                    heapq.heappop(self._queue)
-                    continue
-                if watchdog is not None:
-                    watchdog.before_event(self, event)
-                heapq.heappop(self._queue)
-                self._now = event.time
-                if profiler is None:
-                    event.callback(*event.args)
-                else:
-                    handler_start = perf_counter()
-                    event.callback(*event.args)
-                    profiler.after_event(
-                        event,
-                        perf_counter() - handler_start,
-                        len(self._queue),
-                    )
-                self._events_fired += 1
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    break
+            if (
+                self.fastpath
+                and profiler is None
+                and until is None
+                and max_events is None
+            ):
+                self._run_fast(watchdog)
             else:
-                if until is not None and until > self._now:
-                    self._now = until
+                self._run_general(until, max_events, watchdog, profiler)
         finally:
             self._running = False
             if profiler is not None:
                 profiler.add_run_wall(perf_counter() - run_start)
         return self._now
 
+    def _run_fast(self, watchdog: "SupportsWatchdog | None") -> None:
+        """Tight dispatch loop for the dominant flag combination.
+
+        No ``until``/``max_events`` bookkeeping, hoisted locals, and the
+        free-list fed inline.  The watchdog (when present) sees exactly
+        the per-event calls the reference loop makes.
+        """
+        queue = self._queue
+        pop = heapq.heappop
+        free = self._free
+        batch = self._batch_marker
+        fired = 0
+        try:
+            if watchdog is None:
+                while queue:
+                    event = pop(queue)
+                    if event.cancelled:
+                        if event._recycle:
+                            self._recycle(event)
+                        continue
+                    self._now = event.time
+                    callback = event.callback
+                    args = event.args
+                    if event._recycle:
+                        event.callback = _UNSET
+                        event.args = ()
+                        event.cancelled = False
+                        free.append(event)
+                    if callback is batch:
+                        fired += self._dispatch_batch(args[0], None)
+                    else:
+                        callback(*args)
+                        fired += 1
+                return
+            before_event = watchdog.before_event
+            while queue:
+                event = queue[0]
+                if event.cancelled:
+                    self._drop_cancelled()
+                    continue
+                before_event(self, event)
+                pop(queue)
+                self._now = event.time
+                callback = event.callback
+                args = event.args
+                if event._recycle:
+                    event.callback = _UNSET
+                    event.args = ()
+                    event.cancelled = False
+                    free.append(event)
+                if callback is batch:
+                    # The first item's budget check just ran.
+                    fired += self._dispatch_batch(args[0], watchdog,
+                                                  first_checked=True)
+                else:
+                    callback(*args)
+                    fired += 1
+        finally:
+            self._events_fired += fired
+
+    def _run_general(
+        self,
+        until: float | None,
+        max_events: int | None,
+        watchdog: "SupportsWatchdog | None",
+        profiler: "SupportsProfiler | None",
+    ) -> None:
+        """Reference-shaped loop covering every flag combination.
+
+        With ``fastpath=False`` this *is* the seed event loop (bulk posts
+        degrade to per-item events and nothing is recycled), which is
+        what the differential identity tier runs against.
+        """
+        queue = self._queue
+        stop_at = _INF if until is None else until
+        limit = max_events
+        fired = 0
+        batch = self._batch_marker
+        try:
+            while queue:
+                event = queue[0]
+                if event.time > stop_at:
+                    self._now = stop_at
+                    return
+                if event.cancelled:
+                    self._drop_cancelled()
+                    continue
+                if watchdog is not None:
+                    watchdog.before_event(self, event)
+                heapq.heappop(queue)
+                self._now = event.time
+                callback = event.callback
+                args = event.args
+                if event._recycle:
+                    self._recycle(event)
+                if callback is batch:
+                    fired += self._dispatch_batch(
+                        args[0], watchdog,
+                        first_checked=watchdog is not None,
+                        profiler=profiler,
+                    )
+                elif profiler is None:
+                    callback(*args)
+                    fired += 1
+                else:
+                    handler_start = perf_counter()
+                    callback(*args)
+                    profiler.after_event(
+                        event, perf_counter() - handler_start, len(queue)
+                    )
+                    fired += 1
+                if limit is not None and fired >= limit:
+                    return
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._events_fired += fired
+
+    def _drop_cancelled(self) -> None:
+        """Pop one cancelled event off the heap (the single drain path).
+
+        Every loop — fast, general, :meth:`step` — discards cancelled
+        events through this helper, so a cancel issued at the current
+        timestamp is honoured identically everywhere: the flag is checked
+        on the queue head *before* any dispatch or watchdog accounting.
+        """
+        event = heapq.heappop(self._queue)
+        if event._recycle:
+            self._recycle(event)
+
+    def _run_batch(
+        self,
+        items: list[tuple[Callable[..., None], tuple[Any, ...]]],
+    ) -> None:  # pragma: no cover - dispatched via _dispatch_batch
+        """Marker callback identifying a bulk-post heap entry.
+
+        Never invoked directly: the run loops compare ``event.callback``
+        against this bound method and hand the item list to
+        :meth:`_dispatch_batch` so per-item watchdog/profiler bookkeeping
+        matches the per-event loops.
+        """
+        raise SimulationError("batch events are dispatched by the run loop")
+
+    def _dispatch_batch(
+        self,
+        items: list[tuple[Callable[..., None], tuple[Any, ...]]],
+        watchdog: "SupportsWatchdog | None",
+        first_checked: bool = False,
+        profiler: "SupportsProfiler | None" = None,
+    ) -> int:
+        """Drain one same-timestamp batch; returns how many items fired.
+
+        Items were scheduled before anything currently in the heap with
+        the same timestamp (monotone ``seq``), so running them back to
+        back without re-consulting the heap preserves event order.  The
+        watchdog still sees one ``before_event`` per item (stall and
+        event budgets count batch items exactly like loose events).
+        """
+        fired = 0
+        probe: Event | None = None
+        remaining = len(items)
+        try:
+            for callback, args in items:
+                remaining -= 1
+                self._batch_pending = remaining
+                if watchdog is not None:
+                    if first_checked:
+                        first_checked = False
+                    else:
+                        if probe is None:
+                            probe = Event(self._now, self._seq, callback, args)
+                        probe.callback = callback
+                        probe.args = args
+                        watchdog.before_event(self, probe)
+                if profiler is None:
+                    callback(*args)
+                else:
+                    probe = probe or Event(self._now, self._seq, callback, args)
+                    probe.callback = callback
+                    probe.args = args
+                    handler_start = perf_counter()
+                    callback(*args)
+                    profiler.after_event(
+                        probe, perf_counter() - handler_start, len(self._queue)
+                    )
+                fired += 1
+        finally:
+            self._batch_pending = 0
+        return fired
+
     def step(self) -> bool:
         """Execute the single next non-cancelled event.
 
         Returns True if an event fired, False if the queue was empty.
+        Bulk posts are not steppable item-by-item; the whole batch counts
+        as the next event and drains in one step.
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        while queue:
+            if queue[0].cancelled:
+                self._drop_cancelled()
                 continue
+            event = heapq.heappop(queue)
             self._now = event.time
-            event.callback(*event.args)
-            self._events_fired += 1
+            callback = event.callback
+            args = event.args
+            if event._recycle:
+                self._recycle(event)
+            if callback is self._batch_marker:
+                self._events_fired += self._dispatch_batch(args[0], None)
+            else:
+                callback(*args)
+                self._events_fired += 1
             return True
         return False
+
+
+def _unset_callback(*_args: Any) -> None:  # pragma: no cover - guard only
+    raise SimulationError("a recycled event fired without being rescheduled")
+
+
+#: Placeholder callback installed on free-listed events so a kernel bug
+#: (dispatching a recycled-but-unscheduled event) fails loudly instead of
+#: silently re-running a stale handler.
+_UNSET: Callable[..., None] = _unset_callback

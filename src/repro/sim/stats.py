@@ -9,18 +9,26 @@ Two pieces:
 
 from __future__ import annotations
 
-from collections import defaultdict
-
 
 class StatSet:
-    """A named collection of additive counters."""
+    """A named collection of additive counters.
+
+    Slotted, plain-dict storage: ``add`` is called millions of times per
+    simulation (every issue/request/contribution accounts through one),
+    so it avoids ``defaultdict.__missing__`` dispatch and keeps the
+    counter dict reachable for hot callers that fold several increments
+    into one dict transaction.
+    """
+
+    __slots__ = ("_counters",)
 
     def __init__(self) -> None:
-        self._counters: dict[str, float] = defaultdict(float)
+        self._counters: dict[str, float] = {}
 
     def add(self, name: str, amount: float = 1.0) -> None:
         """Increment counter ``name`` by ``amount``."""
-        self._counters[name] += amount
+        counters = self._counters
+        counters[name] = counters.get(name, 0.0) + amount
 
     def get(self, name: str) -> float:
         """Current value of counter ``name`` (0.0 if never incremented)."""
@@ -32,8 +40,9 @@ class StatSet:
 
     def merge(self, other: "StatSet") -> None:
         """Add all counters from ``other`` into this set."""
+        counters = self._counters
         for name, value in other._counters.items():
-            self._counters[name] += value
+            counters[name] = counters.get(name, 0.0) + value
 
     def __contains__(self, name: str) -> bool:
         return name in self._counters
@@ -56,6 +65,9 @@ class BusyTracker:
     stall-spans for timeline export.  With no sink attached the tracker
     does no extra work beyond one ``is not None`` check per grant.
     """
+
+    __slots__ = ("_busy_until", "_busy_time", "_first_use", "_last_use",
+                 "_span_sink")
 
     def __init__(self) -> None:
         self._busy_until = 0.0

@@ -29,7 +29,7 @@ def test_dropped_agg_grant_is_detected(program, monkeypatch):
     """An AGG that never grants allocations deadlocks the layer; the
     engine must raise rather than return."""
     monkeypatch.setattr(
-        Aggregator, "alloc", lambda self, expected, on_grant: None
+        Aggregator, "alloc", lambda self, expected, on_grant, now=None: None
     )
     engine = RuntimeEngine(Accelerator(CPU_ISO_BW))
     with pytest.raises(RuntimeError, match="deadlocked"):
@@ -48,7 +48,7 @@ def test_dropped_dnq_grant_is_detected(program, monkeypatch):
 def test_stuck_thread_pool_is_detected(program, monkeypatch):
     """A thread pool that stops granting strands every task."""
     monkeypatch.setattr(
-        GraphPE, "acquire_thread", lambda self, on_grant: None
+        GraphPE, "acquire_thread_at", lambda self, on_grant: None
     )
     engine = RuntimeEngine(Accelerator(CPU_ISO_BW))
     with pytest.raises(RuntimeError, match="deadlocked"):

@@ -200,3 +200,34 @@ def test_pending_by_owner_names_bound_methods():
     counts = sim.pending_by_owner()
     assert counts["tile(0, 0).gpe.tick"] == 2
     assert sum(counts.values()) == 3
+
+
+def test_cancel_at_current_timestamp_honoured_before_dispatch():
+    """Regression: a cancel issued by a same-timestamp predecessor must
+    suppress the victim in every run-loop flavour.
+
+    The seed run loop popped cancelled events through two separate code
+    paths (plain drop vs. the watchdog-guarded branch); the drain is now
+    unified in ``Simulator._drop_cancelled``, and this test pins the
+    behaviour across both kernel modes, with and without a watchdog.
+    """
+    from repro.sim.watchdog import Watchdog, WatchdogConfig
+
+    for fastpath in (True, False):
+        for with_watchdog in (True, False):
+            sim = Simulator(fastpath=fastpath)
+            fired = []
+
+            def canceller():
+                fired.append("canceller")
+                victim.cancel()
+
+            sim.schedule_at(5.0, canceller)
+            victim = sim.schedule_at(5.0, lambda: fired.append("victim"))
+            sim.schedule_at(5.0, lambda: fired.append("after"))
+            watchdog = Watchdog(WatchdogConfig()) if with_watchdog else None
+            sim.run(watchdog=watchdog)
+            assert fired == ["canceller", "after"], (
+                f"fastpath={fastpath} watchdog={with_watchdog}: {fired}"
+            )
+            assert sim.now == 5.0
