@@ -34,6 +34,9 @@ def _cmd_list(_args) -> None:
           " [--configs ...] [--clocks ...] [--noc-backend NAME]")
     print("           compare <benchmark> [--systems ...] [--clock GHZ]"
           " [--output PATH]")
+    print("           serve-sim <benchmark ...> [--systems ...]"
+          " [--instances N] [--arrival poisson|bursty] [--rate QPS]"
+          " [--slo-ms MS] [--seed N] [--fault SPEC]")
     print("           systems noc-backends")
     from repro.models import BENCHMARKS
     from repro.noc.backends import backend_names
@@ -84,30 +87,35 @@ def _resolve_names(
     config: str | None = None,
     system: str | None = None,
     noc_backend: str | None = None,
+    benchmarks: "tuple[str, ...] | list[str]" = (),
+    systems: "tuple[str, ...] | list[str]" = (),
 ) -> int | None:
     """Print a one-line error and return 2 for any unknown name.
 
     The single source of truth for the CLI's "unknown name -> exit 2"
-    contract: benchmarks and configurations resolve through the same
-    dict-backed registry lookups every execution path uses
-    (:func:`repro.models.registry.benchmark_by_key`,
-    :func:`repro.accel.config.configuration_by_name`), execution systems
+    contract: benchmarks resolve through
+    :func:`repro.models.registry.resolve_benchmark_key` (so dataset
+    shorthands like ``qm9`` are accepted and ambiguous ones rejected
+    with candidates), configurations through
+    :func:`repro.accel.config.configuration_by_name`, execution systems
     and NoC backends through their registries.  Runs before any
     simulation or worker spawn, so a typo fails in milliseconds listing
     the valid names.
     """
     from repro.accel.config import configuration_by_name
-    from repro.models.registry import benchmark_by_key
+    from repro.models.registry import resolve_benchmark_key
     from repro.noc.backends import UnknownBackendError, validate_backend
     from repro.systems import UnknownSystemError, validate_system
 
     try:
-        if benchmark is not None:
-            benchmark_by_key(benchmark)
+        for key in ([benchmark] if benchmark is not None else []) + list(
+            benchmarks
+        ):
+            resolve_benchmark_key(key)
         if config is not None:
             configuration_by_name(config)
-        if system is not None:
-            validate_system(system)
+        for name in ([system] if system is not None else []) + list(systems):
+            validate_system(name)
         if noc_backend is not None:
             validate_backend(noc_backend)
     except (KeyError, UnknownSystemError, UnknownBackendError) as exc:
@@ -234,20 +242,16 @@ def _cmd_energy(_args) -> None:
 
 
 def _validate_sweep_args(args) -> str | None:
-    """One-line error for an unknown benchmark/config name, else None.
+    """One-line error for an unknown config name, else None.
 
+    Benchmarks go through :func:`_resolve_names`; configs are validated
+    here because sweep takes several where the other commands take one.
     Runs before any point is built or any worker spawned, so a typo
     fails in milliseconds with the valid names instead of after a pool
     spin-up.
     """
     from repro.accel.config import CONFIGURATIONS
-    from repro.models import BENCHMARKS
 
-    valid_benchmarks = tuple(b.key for b in BENCHMARKS)
-    unknown = [b for b in args.benchmarks if b not in valid_benchmarks]
-    if unknown:
-        return (f"unknown benchmark(s) {', '.join(unknown)}; "
-                f"valid: {' '.join(valid_benchmarks)}")
     valid_configs = tuple(c.name for c in CONFIGURATIONS)
     unknown = [c for c in args.configs if c not in valid_configs]
     if unknown:
@@ -283,9 +287,13 @@ def _cmd_sweep(args) -> int:
         print(f"repro sweep: {error}", file=sys.stderr)
         return 2
     code = _resolve_names("sweep", system=system,
-                          noc_backend=args.noc_backend)
+                          noc_backend=args.noc_backend,
+                          benchmarks=args.benchmarks)
     if code is not None:
         return code
+    from repro.models.registry import resolve_benchmark_key
+
+    args.benchmarks = [resolve_benchmark_key(b) for b in args.benchmarks]
 
     cache = None if args.no_cache else ResultCache(args.cache_dir)
     if system == "accel":
@@ -390,6 +398,9 @@ def _cmd_profile(args) -> int:
                           noc_backend=args.noc_backend)
     if code is not None:
         return code
+    from repro.models.registry import resolve_benchmark_key
+
+    args.benchmark = resolve_benchmark_key(args.benchmark)
     if system != "accel":
         return _run_on_system("profile", system, args, observe=True)
 
@@ -447,6 +458,9 @@ def _cmd_simulate(args) -> int:
                           noc_backend=args.noc_backend)
     if code is not None:
         return code
+    from repro.models.registry import resolve_benchmark_key
+
+    args.benchmark = resolve_benchmark_key(args.benchmark)
     if system != "accel":
         return _run_on_system("simulate", system, args)
 
@@ -479,14 +493,13 @@ def _cmd_compare(args) -> int:
     systems = tuple(args.systems) or system_names()
     code = _resolve_names("compare", benchmark=args.benchmark,
                           config=args.config,
-                          noc_backend=args.noc_backend)
-    if code is None:
-        for name in systems:
-            code = _resolve_names("compare", system=name)
-            if code is not None:
-                break
+                          noc_backend=args.noc_backend,
+                          systems=systems)
     if code is not None:
         return code
+    from repro.models.registry import resolve_benchmark_key
+
+    args.benchmark = resolve_benchmark_key(args.benchmark)
 
     reports = {}
     skipped = {}
@@ -531,6 +544,102 @@ def _cmd_compare(args) -> int:
             handle.write(table + "\n")
         print(f"wrote comparison table to {args.output}")
     return 0
+
+
+def _cmd_serve_sim(args) -> int:
+    """Serve a seeded request stream on simulated instances: "Table VII
+    as a service".  Deterministic for a given seed at any ``--jobs``."""
+    import json
+
+    from repro.exp.cache import DEFAULT_CACHE, ResultCache
+    from repro.models.registry import resolve_benchmark_key
+    from repro.obs import MetricsRegistry
+    from repro.serve import (
+        ArrivalSpec,
+        ServePolicy,
+        format_report,
+        measure_service_times,
+        parse_instance_fault,
+        saturation_qps,
+        simulate_serving,
+        warm_service_cache,
+    )
+    from repro.systems import UnsupportedWorkloadError
+
+    systems = tuple(args.systems) or ("accel",)
+    code = _resolve_names("serve-sim", benchmarks=args.benchmarks,
+                          systems=systems, noc_backend=args.noc_backend)
+    if code is not None:
+        return code
+    keys = [resolve_benchmark_key(b) for b in args.benchmarks]
+
+    try:
+        faults = [parse_instance_fault(text) for text in args.fault]
+        spec = ArrivalSpec(
+            kind=args.arrival,
+            rate_qps=args.rate,
+            duration_ms=args.duration_ms,
+            seed=args.seed,
+        )
+        policy = ServePolicy(
+            slo_ms=args.slo_ms,
+            queue_bound=args.queue_bound,
+            max_batch=args.max_batch,
+            timeout_ms=args.timeout_ms,
+            max_retries=args.retries,
+        )
+    except ValueError as exc:
+        print(f"repro serve-sim: {exc}", file=sys.stderr)
+        return 2
+
+    cache = (ResultCache(args.cache_dir) if args.cache_dir is not None
+             else DEFAULT_CACHE)
+    if args.jobs is not None and args.jobs > 1:
+        # Fill the per-(system, benchmark) service-time cache in
+        # parallel; pricing below then hits the cache, so the report is
+        # identical to a --jobs 1 run.
+        warm_service_cache(systems, keys, jobs=args.jobs, cache=cache,
+                           noc_backend=args.noc_backend)
+
+    documents = {}
+    exit_code = 0
+    for system in systems:
+        try:
+            table = measure_service_times(
+                system, keys, cache=cache, noc_backend=args.noc_backend
+            )
+        except UnsupportedWorkloadError as exc:
+            print(f"  note: {system} skipped — {exc}")
+            continue
+        trace = spec.generate(keys)
+        registry = MetricsRegistry()
+        report = simulate_serving(
+            trace, table, instances=args.instances, policy=policy,
+            faults=faults, arrival=spec, registry=registry,
+        )
+        saturation = None
+        if not args.no_saturation:
+            saturation = saturation_qps(
+                table, keys, spec, instances=args.instances, policy=policy
+            )
+        print(format_report(report, saturation))
+        print()
+        document = report.to_dict()
+        document["saturation_qps"] = saturation
+        document["metrics"] = registry.snapshot(report.duration_ms)
+        documents[system] = document
+        if not report.balanced:  # pragma: no cover - scheduler invariant
+            exit_code = 1
+    if not documents:
+        print("repro serve-sim: no system could serve these benchmarks",
+              file=sys.stderr)
+        return 1
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump({"schema_version": 1, "reports": documents},
+                      handle, indent=2, sort_keys=True)
+        print(f"wrote serving report(s) to {args.output}")
+    return exit_code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -677,6 +786,92 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="also write the comparison table to PATH",
     )
+    serve = sub.add_parser(
+        "serve-sim",
+        help="serve a seeded request stream on N simulated instances "
+             "(Table VII as a service)",
+    )
+    serve.add_argument(
+        "benchmarks", nargs="+", metavar="BENCHMARK",
+        help="benchmark keys or dataset shorthands (e.g. qm9, gcn-cora)",
+    )
+    serve.add_argument(
+        "--systems", nargs="*", default=(), metavar="NAME",
+        help="execution systems to serve on (default: accel)",
+    )
+    serve.add_argument(
+        "--instances", type=int, default=2, metavar="N",
+        help="simulated serving instances per system (default: 2)",
+    )
+    serve.add_argument(
+        "--arrival", choices=("poisson", "bursty"), default="poisson",
+        help="arrival process (default: poisson; bursty = MMPP-2 at the "
+             "same mean rate)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=100.0, metavar="QPS",
+        help="mean arrival rate in requests/s (default: 100)",
+    )
+    serve.add_argument(
+        "--duration-ms", type=float, default=1_000.0, metavar="MS",
+        help="arrival window in simulated ms (default: 1000)",
+    )
+    serve.add_argument(
+        "--seed", type=int, default=0,
+        help="trace seed; same seed -> bit-identical report (default: 0)",
+    )
+    serve.add_argument(
+        "--slo-ms", type=float, default=50.0, metavar="MS",
+        help="per-request latency objective (default: 50)",
+    )
+    serve.add_argument(
+        "--queue-bound", type=int, default=64, metavar="N",
+        help="admission-control bound; arrivals beyond it are shed "
+             "(default: 64; degradation engages at half)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=8, metavar="N",
+        help="requests per dispatched batch (default: 8)",
+    )
+    serve.add_argument(
+        "--timeout-ms", type=float, default=None, metavar="MS",
+        help="queue-wait budget before a request retries with backoff "
+             "(default: no timeout)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retry budget per request for timeouts and failovers "
+             "(default: 1)",
+    )
+    serve.add_argument(
+        "--fault", action="append", default=[], metavar="SPEC",
+        help="inject an instance fault: KIND:INSTANCE@MS[+DURATION]"
+             "[xFACTOR], e.g. crash:0@200 or degrade:1@100+500x6 "
+             "(repeatable)",
+    )
+    serve.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel workers for warming the service-time cache "
+             "(never changes the report, only wall-clock time)",
+    )
+    serve.add_argument(
+        "--noc-backend", default=None, metavar="NAME",
+        help="NoC model for the accel system's exact service times "
+             "(degraded mode always prices on analytical)",
+    )
+    serve.add_argument(
+        "--no-saturation", action="store_true",
+        help="skip the saturation-throughput search",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent cache root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    serve.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the JSON serving report(s) to PATH",
+    )
     return parser
 
 
@@ -697,6 +892,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "profile": _cmd_profile,
         "sweep": _cmd_sweep,
+        "serve-sim": _cmd_serve_sim,
     }
     if args.command in ("table1", "table3", "table4", "table5", "table6"):
         _cmd_config_table(args.command)

@@ -1,8 +1,12 @@
-"""Structured error taxonomy for the sweep execution layer.
+"""Structured error taxonomy shared by the sweep and serving layers.
 
-Every way an operating point can fail maps to one exception class, so
-callers (and ``python -m repro sweep``'s exit-code logic) can branch on
-type instead of parsing messages:
+Every way work can fail — an operating point of a sweep, a request of a
+serving simulation, the simulation kernel itself — maps to one exception
+class descending from :class:`repro.errors.ReproError` (re-exported here
+as the hierarchy's public root), so callers branch on type or on the
+``status``/``retryable`` attributes instead of parsing messages.
+
+Sweep level:
 
 * :class:`PointTimeout` — the point exceeded its wall-clock budget (the
   parent killed the worker, or the in-process wall watchdog tripped);
@@ -13,6 +17,26 @@ type instead of parsing messages:
   retried, because a bit-deterministic simulator fails the same way
   every time.
 
+Serving level (:mod:`repro.serve`):
+
+* :class:`RequestTimeout` — a request waited past its timeout budget;
+  *retryable* (the client re-submits with backoff);
+* :class:`InstanceDown` — the instance holding the request crashed
+  mid-flight; *retryable* (failover re-dispatches onto a survivor);
+* :class:`ShedRequest` — admission control rejected the request because
+  the queue exceeded its bound; never retried (shedding exists exactly
+  so overload does not amplify itself).
+
+Simulator level — :class:`repro.sim.kernel.SimulationError`,
+:class:`repro.sim.watchdog.WatchdogTrip`, and
+:class:`repro.runtime.engine.SimulationFailure` — joins the same root:
+all deterministic, never retryable, ``status`` ``"diverged"`` except for
+wall-clock watchdog trips, which tag themselves ``"timeout"``.
+
+:func:`classify` maps *any* exception (taxonomy member or foreign) to a
+``(status, retryable)`` pair; it is the one classification path the
+sweep runner and the serving simulation share.
+
 :class:`SweepFailed` aggregates: it is what the strict
 :func:`~repro.exp.runner.run_sweep` raises when any point in a sweep
 ends in failure, carrying the full per-point outcome.
@@ -22,11 +46,29 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
+from repro.errors import ReproError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.exp.runner import SweepOutcome
 
+__all__ = [
+    "ReproError",
+    "SweepError",
+    "PointError",
+    "PointTimeout",
+    "PointCrash",
+    "SimulationDiverged",
+    "ServeError",
+    "RequestTimeout",
+    "InstanceDown",
+    "ShedRequest",
+    "SweepFailed",
+    "STATUS_ERRORS",
+    "classify",
+]
 
-class SweepError(RuntimeError):
+
+class SweepError(ReproError):
     """Base class for every sweep-layer failure."""
 
 
@@ -83,9 +125,65 @@ STATUS_ERRORS: dict[str, type[PointError]] = {
 }
 
 
+class ServeError(ReproError):
+    """Base class for every serving-layer (``repro.serve``) failure.
+
+    Carries the request id and the simulated time of the failure so a
+    replayed trace can be diffed failure-by-failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        request_id: int = -1,
+        at_ms: float = 0.0,
+        attempts: int = 1,
+    ) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+        self.at_ms = at_ms
+        self.attempts = attempts
+
+
+class RequestTimeout(ServeError):
+    """The request waited past its timeout budget; the client retries."""
+
+    status = "request-timeout"
+    retryable = True
+
+
+class InstanceDown(ServeError):
+    """The instance serving the request crashed; failover retries it."""
+
+    status = "instance-down"
+    retryable = True
+
+
+class ShedRequest(ServeError):
+    """Admission control rejected the request (queue over its bound)."""
+
+    status = "shed"
+    retryable = False
+
+
 class SweepFailed(SweepError):
     """At least one point of a sweep failed; carries the full outcome."""
 
     def __init__(self, outcome: "SweepOutcome") -> None:
         super().__init__(outcome.summary())
         self.outcome = outcome
+
+
+def classify(exc: BaseException) -> tuple[str, bool]:
+    """Map any exception to its taxonomy ``(status, retryable)`` pair.
+
+    Taxonomy members answer from their own attributes (including the
+    instance-level ``status`` override a wall-clock watchdog trip
+    carries); foreign exceptions classify as a generic non-retryable
+    ``"error"``.  This is the single classification path the sweep
+    runner's failure handling and the serving simulation share.
+    """
+    if isinstance(exc, ReproError):
+        return exc.status, exc.retryable
+    return "error", False

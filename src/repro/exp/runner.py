@@ -396,18 +396,19 @@ def _sweep_observer() -> Any:
 
 
 def _classify_failure(exc: BaseException) -> tuple[str, str]:
-    """Map an attempt's exception to a ``(status, message)`` pair."""
-    from repro.runtime.engine import SimulationFailure
-    from repro.sim.kernel import SimulationError
+    """Map an attempt's exception to a ``(status, message)`` pair.
 
-    if isinstance(exc, SimulationFailure):
-        diagnosis = exc.diagnosis
-        if diagnosis is not None and diagnosis.reason == "max_wall":
-            return "timeout", str(exc)
-        return "diverged", str(exc)
-    if isinstance(exc, SimulationError):
-        return "diverged", str(exc)
-    return "error", f"{type(exc).__name__}: {exc}"
+    Delegates to the shared taxonomy (:func:`repro.exp.errors.classify`)
+    — the same path the serving layer uses — so a watchdog trip, a
+    deadlock, and a foreign exception classify identically everywhere.
+    """
+    from repro.errors import ReproError
+    from repro.exp.errors import classify
+
+    status, _retryable = classify(exc)
+    if isinstance(exc, ReproError):
+        return status, str(exc)
+    return status, f"{type(exc).__name__}: {exc}"
 
 
 def _attempt_inline(

@@ -1,0 +1,66 @@
+"""Exact order statistics for golden numbers.
+
+Latency percentiles quoted in reports (and pinned in golden snapshots)
+must be *reproducible to the bit* and mean the same thing everywhere.
+``numpy.percentile`` defaults to linear interpolation between samples —
+a fine estimator, but its output is not an observed value and its exact
+result depends on the interpolation mode, which has changed names across
+numpy versions.  The serving layer and the timing summaries therefore
+use the **nearest-rank** definition (the classic
+"smallest value with at least ``p``\\ % of samples at or below it"):
+
+* the result is always one of the input samples;
+* it is defined for any sample count ``n >= 1`` (``p99`` of three
+  samples is simply the maximum);
+* it needs only a sort — no float arithmetic whose rounding could
+  differ across platforms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+#: The percentile set every latency summary reports, in display order.
+STANDARD_PERCENTILES: tuple[float, ...] = (50.0, 95.0, 99.0)
+
+
+def nearest_rank(values: Sequence[float], pct: float) -> float:
+    """The exact nearest-rank ``pct``-th percentile of ``values``.
+
+    ``pct`` is in ``(0, 100]``; the result is the ``ceil(pct/100 * n)``-th
+    smallest sample (1-based), so ``nearest_rank(v, 100)`` is ``max(v)``
+    and ``nearest_rank(v, 50)`` of an odd-length list is its median
+    element.  Raises :class:`ValueError` on an empty sample or an
+    out-of-range percentile.
+    """
+    if not 0.0 < pct <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {pct!r}")
+    n = len(values)
+    if n == 0:
+        raise ValueError("nearest_rank needs at least one sample")
+    rank = math.ceil(pct / 100.0 * n)
+    return sorted(values)[rank - 1]
+
+
+def percentile_summary(
+    values: Iterable[float],
+    percentiles: Sequence[float] = STANDARD_PERCENTILES,
+) -> Mapping[str, float]:
+    """``{"p50": ..., "p95": ..., "p99": ...}`` by nearest rank.
+
+    One sort serves every requested percentile.  Keys render ``50.0``
+    as ``"p50"`` and ``99.9`` as ``"p99.9"``.  An empty sample returns
+    an empty mapping — the caller decides how to report "no data".
+    """
+    ordered = sorted(values)
+    if not ordered:
+        return {}
+    n = len(ordered)
+    summary: dict[str, float] = {}
+    for pct in percentiles:
+        if not 0.0 < pct <= 100.0:
+            raise ValueError(f"percentile must be in (0, 100], got {pct!r}")
+        label = f"p{pct:g}"
+        summary[label] = ordered[math.ceil(pct / 100.0 * n) - 1]
+    return summary

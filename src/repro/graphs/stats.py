@@ -83,6 +83,10 @@ def clustering_coefficient(graph: Graph, sample: int | None = None,
 
 def graph_stats(graph: Graph, clustering_sample: int | None = 500) -> GraphStats:
     """All structural statistics of one graph."""
+    # Imported here: this module sits below repro.exp in the layering
+    # (the dataflow import chain reaches it before repro.exp can load).
+    from repro.exp.stats import nearest_rank
+
     degrees = graph.degrees()
     return GraphStats(
         name=graph.name,
@@ -90,7 +94,7 @@ def graph_stats(graph: Graph, clustering_sample: int | None = 500) -> GraphStats
         num_edges=graph.num_edges,
         mean_degree=float(degrees.mean()),
         max_degree=int(degrees.max()),
-        degree_p99=float(np.percentile(degrees, 99)),
+        degree_p99=float(nearest_rank(degrees.tolist(), 99)),
         power_law_alpha=power_law_alpha(degrees),
         clustering=clustering_coefficient(graph, sample=clustering_sample),
         two_hop_visits=int((degrees.astype(np.int64) ** 2).sum()),

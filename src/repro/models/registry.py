@@ -71,6 +71,38 @@ def benchmark_by_key(key: str) -> Benchmark:
         ) from None
 
 
+def resolve_benchmark_key(name: str) -> str:
+    """Canonicalize a benchmark name, accepting dataset shorthands.
+
+    Exact keys (``"gcn-cora"``) pass through.  A dataset name —
+    ``"pubmed"``, ``"qm9_1000"``, or an underscore-prefix of one like
+    ``"qm9"`` / ``"dblp"`` — resolves to its unique benchmark's key.
+    Ambiguous shorthands (``"cora"`` names both the GCN and GAT rows)
+    and unknown names raise a :class:`KeyError` listing the candidates,
+    so every CLI path that validates through this function exits 2 with
+    a helpful message.  Callers must use the *returned* canonical key —
+    never the shorthand — for cache fingerprints.
+    """
+    if name in BENCHMARKS_BY_KEY:
+        return name
+    lowered = name.lower()
+    matches = [
+        b.key for b in BENCHMARKS
+        if b.dataset.lower() == lowered
+        or b.dataset.lower().startswith(lowered + "_")
+    ]
+    if len(matches) == 1:
+        return matches[0]
+    if matches:
+        raise KeyError(
+            f"ambiguous benchmark {name!r}; candidates: {matches}"
+        )
+    raise KeyError(
+        f"unknown benchmark {name!r}; available: "
+        f"{[b.key for b in BENCHMARKS]}"
+    )
+
+
 #: Model family -> constructor, used by :func:`benchmark_model`.
 _MODEL_CLASSES: dict[str, type[GNNModel]] = {
     "GCN": GCN,

@@ -1,0 +1,56 @@
+"""Resilient inference-serving simulation over the accelerator models.
+
+The paper reports single-request latencies (Table VII); this package
+asks the production question behind them: what do those latencies buy
+at a given arrival rate, on a small fleet of accelerator instances,
+when instances crash and queues build?  The answer is a fast
+discrete-event serving simulation whose per-request service times are
+the cached single-run results — see :mod:`repro.serve.cluster` for the
+layering, :mod:`repro.serve.arrivals` for the seeded open-loop traffic
+models, :mod:`repro.serve.scheduler` for the deadline-aware batching
+loop with shedding / retry / failover / graceful degradation, and
+:mod:`repro.serve.report` for the accounting artifact.
+
+Everything is seeded and bit-deterministic: ``repro serve-sim ... --seed
+0`` produces the identical report on every run, at any ``--jobs``.
+"""
+
+from repro.serve.arrivals import ARRIVAL_KINDS, ArrivalSpec, Request
+from repro.serve.cluster import (
+    ACCEL_APPROX_BACKEND,
+    INSTANCE_FAULT_KINDS,
+    InstanceFault,
+    ServiceTimes,
+    measure_service_times,
+    parse_instance_fault,
+    random_instance_fault,
+    warm_service_cache,
+)
+from repro.serve.report import (
+    InstanceSummary,
+    ServeReport,
+    format_report,
+    slo_band,
+)
+from repro.serve.scheduler import ServePolicy, saturation_qps, simulate_serving
+
+__all__ = [
+    "ACCEL_APPROX_BACKEND",
+    "ARRIVAL_KINDS",
+    "INSTANCE_FAULT_KINDS",
+    "ArrivalSpec",
+    "InstanceFault",
+    "InstanceSummary",
+    "Request",
+    "ServePolicy",
+    "ServeReport",
+    "ServiceTimes",
+    "format_report",
+    "measure_service_times",
+    "parse_instance_fault",
+    "random_instance_fault",
+    "saturation_qps",
+    "simulate_serving",
+    "slo_band",
+    "warm_service_cache",
+]

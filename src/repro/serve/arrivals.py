@@ -1,0 +1,169 @@
+"""Seeded open-loop request generation for the serving simulation.
+
+A serving experiment begins with a *trace*: the requests that would have
+arrived at the cluster over the experiment window, independent of how
+fast the cluster drains them (open-loop — an overloaded cluster does not
+slow its clients down, it builds queue).  Two arrival processes ship:
+
+* ``poisson`` — memoryless arrivals at a constant rate, the standard
+  null model for independent user traffic;
+* ``bursty`` — a two-state Markov-modulated Poisson process (MMPP-2):
+  the generator alternates between a *calm* and a *burst* state with
+  exponentially distributed dwell times, and arrivals within each state
+  are Poisson at that state's rate.  The two rates are solved so the
+  long-run mean equals ``rate_qps``, which makes ``poisson`` and
+  ``bursty`` traces comparable at the same nominal load.
+
+Everything is driven by one ``random.Random(seed)`` stream, so a spec
+generates the *identical* request trace on every call, every process,
+and every ``--jobs`` setting — the foundation of the serving layer's
+bit-determinism guarantee (``tests/serve/test_arrivals.py``).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Registered arrival process kinds.
+ARRIVAL_KINDS = ("poisson", "bursty")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One inference request of a serving trace.
+
+    ``arrival_ms`` is the absolute arrival time on the serving clock;
+    ``benchmark_key`` names the canonical benchmark whose cached
+    single-run latency prices the request's service time.
+    """
+
+    rid: int
+    benchmark_key: str
+    arrival_ms: float
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """A seeded, content-addressed description of one request trace.
+
+    ``burst_factor`` is the burst-state rate as a multiple of the
+    nominal rate; ``burst_fraction`` the long-run fraction of time spent
+    bursting; ``mean_burst_ms`` the mean burst dwell time.  The calm
+    state's rate and dwell follow from the stationarity constraints, so
+    the trace's long-run mean rate is ``rate_qps`` for both kinds.
+    """
+
+    kind: str = "poisson"
+    rate_qps: float = 100.0
+    duration_ms: float = 1_000.0
+    seed: int = 0
+    burst_factor: float = 4.0
+    burst_fraction: float = 0.2
+    mean_burst_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ARRIVAL_KINDS:
+            raise ValueError(
+                f"unknown arrival kind {self.kind!r}; valid: {ARRIVAL_KINDS}"
+            )
+        if self.rate_qps <= 0:
+            raise ValueError("rate_qps must be positive")
+        if self.duration_ms <= 0:
+            raise ValueError("duration_ms must be positive")
+        if self.burst_factor <= 1.0:
+            raise ValueError("burst_factor must exceed 1")
+        if not 0.0 < self.burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if self.burst_fraction * self.burst_factor >= 1.0:
+            raise ValueError(
+                "burst_fraction * burst_factor must stay below 1, or the "
+                "calm-state rate would be non-positive"
+            )
+        if self.mean_burst_ms <= 0:
+            raise ValueError("mean_burst_ms must be positive")
+
+    def fingerprint(self) -> dict[str, float | str | int]:
+        """Plain-data identity, embedded in every serving report."""
+        return {
+            "kind": self.kind,
+            "rate_qps": self.rate_qps,
+            "duration_ms": self.duration_ms,
+            "seed": self.seed,
+            "burst_factor": self.burst_factor,
+            "burst_fraction": self.burst_fraction,
+            "mean_burst_ms": self.mean_burst_ms,
+        }
+
+    def generate(self, benchmarks: Sequence[str]) -> list[Request]:
+        """The deterministic request trace over ``benchmarks``.
+
+        A single-benchmark experiment tags every request with that key;
+        a mixed experiment draws each request's benchmark uniformly from
+        the same seeded stream that drives the arrival times.
+        """
+        if not benchmarks:
+            raise ValueError("need at least one benchmark to serve")
+        rng = random.Random(self.seed)
+        if self.kind == "poisson":
+            times = _poisson_times(rng, self.rate_qps, self.duration_ms)
+        else:
+            times = _mmpp_times(rng, self)
+        single = len(benchmarks) == 1
+        return [
+            Request(
+                rid=rid,
+                benchmark_key=(
+                    benchmarks[0] if single
+                    else benchmarks[rng.randrange(len(benchmarks))]
+                ),
+                arrival_ms=t,
+            )
+            for rid, t in enumerate(times)
+        ]
+
+
+def _poisson_times(
+    rng: random.Random, rate_qps: float, duration_ms: float
+) -> list[float]:
+    """Arrival timestamps of a Poisson process over ``[0, duration_ms)``."""
+    rate_per_ms = rate_qps / 1_000.0
+    times: list[float] = []
+    t = rng.expovariate(rate_per_ms)
+    while t < duration_ms:
+        times.append(t)
+        t += rng.expovariate(rate_per_ms)
+    return times
+
+
+def _mmpp_times(rng: random.Random, spec: ArrivalSpec) -> list[float]:
+    """Arrival timestamps of the two-state MMPP over the spec window.
+
+    Solves the stationary constraints: the burst state runs at
+    ``burst_factor * rate``; the calm rate makes the time-weighted mean
+    equal ``rate``; dwell times are exponential with means chosen so the
+    long-run burst-state occupancy is ``burst_fraction``.
+    """
+    f = spec.burst_fraction
+    rate = spec.rate_qps / 1_000.0  # per ms
+    burst_rate = spec.burst_factor * rate
+    calm_rate = rate * (1.0 - f * spec.burst_factor) / (1.0 - f)
+    mean_burst = spec.mean_burst_ms
+    mean_calm = mean_burst * (1.0 - f) / f
+
+    times: list[float] = []
+    t = 0.0
+    bursting = False  # start calm: the common case for a fresh service
+    while t < spec.duration_ms:
+        dwell = rng.expovariate(1.0 / (mean_burst if bursting else mean_calm))
+        state_end = min(t + dwell, spec.duration_ms)
+        state_rate = burst_rate if bursting else calm_rate
+        if state_rate > 0.0:
+            arrival = t + rng.expovariate(state_rate)
+            while arrival < state_end:
+                times.append(arrival)
+                arrival += rng.expovariate(state_rate)
+        t = state_end
+        bursting = not bursting
+    return times

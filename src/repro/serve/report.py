@@ -1,0 +1,283 @@
+"""Serving-run accounting: latency tails, SLO attainment, throughput.
+
+A :class:`ServeReport` is the single artifact of one serving replay —
+"Table VII as a service".  It embeds everything needed to reproduce the
+run (arrival fingerprint, policy, fault specs), the conservation
+accounting (``generated == completed + shed + failed``), the full
+completed-latency sample, and the derived tail statistics.  Latency
+percentiles use the exact nearest-rank definition from
+:mod:`repro.exp.stats` — no interpolation, so equality checks across
+runs and ``--jobs`` settings are meaningful bit-for-bit.
+
+``to_dict``/``from_dict`` round-trip through plain JSON data;
+:func:`format_report` renders the terminal view used by
+``repro serve-sim``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.exp.stats import STANDARD_PERCENTILES, percentile_summary
+
+#: Bumped when the serialized layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class InstanceSummary:
+    """One instance's share of a serving run."""
+
+    index: int
+    batches: int
+    completed: int
+    approx_batches: int
+    injected_faults: int
+    busy_ms: float
+    utilization: float
+    up: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "batches": self.batches,
+            "completed": self.completed,
+            "approx_batches": self.approx_batches,
+            "injected_faults": self.injected_faults,
+            "busy_ms": self.busy_ms,
+            "utilization": self.utilization,
+            "up": self.up,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "InstanceSummary":
+        return cls(**{k: data[k] for k in (
+            "index", "batches", "completed", "approx_batches",
+            "injected_faults", "busy_ms", "utilization", "up",
+        )})
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """Everything one serving replay produced, reproducibly.
+
+    ``slo_attained`` counts requests *completed within the SLO*;
+    :attr:`slo_attainment` divides by ``generated`` — shed, failed, and
+    late requests all count against attainment, because a user whose
+    request was shed did not experience a met SLO.
+    """
+
+    system: str
+    benchmarks: tuple[str, ...]
+    instances: int
+    arrival: Mapping[str, Any] | None
+    policy: Mapping[str, Any]
+    faults: Sequence[Mapping[str, Any]]
+    generated: int
+    completed: int
+    shed: int
+    failed: int
+    failed_by_status: Mapping[str, int]
+    retries: int
+    completed_approx: int
+    approximate_backend: str | None
+    latency_ms: Sequence[float]
+    slo_ms: float
+    slo_attained: int
+    duration_ms: float
+    events: int
+    per_instance: Sequence[InstanceSummary] = field(default_factory=tuple)
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def balanced(self) -> bool:
+        """The conservation law every run must satisfy."""
+        return self.generated == self.completed + self.shed + self.failed
+
+    @property
+    def slo_attainment(self) -> float:
+        """Fraction of *generated* requests completed within the SLO."""
+        if self.generated == 0:
+            return 1.0
+        return self.slo_attained / self.generated
+
+    @property
+    def completion_rate(self) -> float:
+        if self.generated == 0:
+            return 1.0
+        return self.completed / self.generated
+
+    @property
+    def throughput_qps(self) -> float:
+        """Completed requests per second of simulated serving time."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return self.completed / (self.duration_ms / 1_000.0)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any request was served from approximate latencies."""
+        return self.completed_approx > 0
+
+    def percentiles(
+        self, percentiles: Sequence[float] = STANDARD_PERCENTILES
+    ) -> dict[str, float]:
+        """Nearest-rank latency percentiles (``{"p50": ..., ...}``);
+        empty when nothing completed."""
+        return percentile_summary(self.latency_ms, percentiles)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "system": self.system,
+            "benchmarks": list(self.benchmarks),
+            "instances": self.instances,
+            "arrival": dict(self.arrival) if self.arrival else None,
+            "policy": dict(self.policy),
+            "faults": [dict(f) for f in self.faults],
+            "generated": self.generated,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failed": self.failed,
+            "failed_by_status": dict(self.failed_by_status),
+            "retries": self.retries,
+            "completed_approx": self.completed_approx,
+            "approximate_backend": self.approximate_backend,
+            "latency_ms": list(self.latency_ms),
+            "slo_ms": self.slo_ms,
+            "slo_attained": self.slo_attained,
+            "slo_attainment": self.slo_attainment,
+            "throughput_qps": self.throughput_qps,
+            "percentiles": self.percentiles(),
+            "duration_ms": self.duration_ms,
+            "events": self.events,
+            "per_instance": [inst.to_dict() for inst in self.per_instance],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ServeReport":
+        version = data.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported serve-report schema {version!r} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        return cls(
+            system=data["system"],
+            benchmarks=tuple(data["benchmarks"]),
+            instances=data["instances"],
+            arrival=data.get("arrival"),
+            policy=data["policy"],
+            faults=list(data.get("faults", [])),
+            generated=data["generated"],
+            completed=data["completed"],
+            shed=data["shed"],
+            failed=data["failed"],
+            failed_by_status=dict(data.get("failed_by_status", {})),
+            retries=data.get("retries", 0),
+            completed_approx=data.get("completed_approx", 0),
+            approximate_backend=data.get("approximate_backend"),
+            latency_ms=list(data["latency_ms"]),
+            slo_ms=data["slo_ms"],
+            slo_attained=data["slo_attained"],
+            duration_ms=data["duration_ms"],
+            events=data.get("events", 0),
+            per_instance=tuple(
+                InstanceSummary.from_dict(entry)
+                for entry in data.get("per_instance", [])
+            ),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServeReport":
+        return cls.from_dict(json.loads(text))
+
+
+def format_report(
+    report: ServeReport, saturation: float | None = None
+) -> str:
+    """The terminal rendering ``repro serve-sim`` prints."""
+    lines = [
+        f"serving {report.system} x{report.instances} on "
+        f"{', '.join(report.benchmarks)}",
+        f"  requests   generated={report.generated} "
+        f"completed={report.completed} shed={report.shed} "
+        f"failed={report.failed} retries={report.retries}",
+    ]
+    if report.failed_by_status:
+        detail = " ".join(
+            f"{status}={count}"
+            for status, count in sorted(report.failed_by_status.items())
+        )
+        lines.append(f"  failures   {detail}")
+    pcts = report.percentiles()
+    if pcts:
+        tail = " ".join(f"{k}={v:.3f}ms" for k, v in pcts.items())
+        lines.append(f"  latency    {tail}")
+    lines.append(
+        f"  slo        {report.slo_ms:g} ms -> attainment "
+        f"{report.slo_attainment:.3%} "
+        f"({report.slo_attained}/{report.generated})"
+    )
+    lines.append(
+        f"  throughput {report.throughput_qps:.1f} qps over "
+        f"{report.duration_ms:.1f} ms simulated"
+    )
+    if saturation is not None:
+        lines.append(f"  saturation {saturation:.1f} qps at SLO")
+    if report.degraded:
+        lines.append(
+            f"  degraded   {report.completed_approx} request(s) served "
+            f"from approximate latencies ({report.approximate_backend})"
+        )
+    for inst in report.per_instance:
+        state = "up" if inst.up else "down"
+        lines.append(
+            f"  instance.{inst.index} [{state}] batches={inst.batches} "
+            f"completed={inst.completed} approx={inst.approx_batches} "
+            f"util={inst.utilization:.1%}"
+        )
+    if not report.balanced:  # pragma: no cover - guarded by the scheduler
+        lines.append("  WARNING: request accounting does not balance")
+    return "\n".join(lines)
+
+
+def slo_band(report: ServeReport, golden: Mapping[str, Any]) -> str | None:
+    """Check ``report`` against a golden band; None when within band.
+
+    ``golden`` carries ``min_attainment``/``max_attainment`` (either may
+    be absent) plus optional ``generated`` and ``completed_min`` floors.
+    Returns a human-readable violation description otherwise — the CI
+    ``serve-smoke`` contract.
+    """
+    attainment = report.slo_attainment
+    low = golden.get("min_attainment", 0.0)
+    high = golden.get("max_attainment", 1.0)
+    if not low <= attainment <= high:
+        return (
+            f"SLO attainment {attainment:.4f} outside golden band "
+            f"[{low}, {high}]"
+        )
+    expected = golden.get("generated")
+    if expected is not None and report.generated != expected:
+        return (
+            f"generated {report.generated} != golden {expected} "
+            f"(arrival trace drifted)"
+        )
+    floor = golden.get("completed_min")
+    if floor is not None and report.completed < floor:
+        return f"completed {report.completed} below golden floor {floor}"
+    if not report.balanced:
+        return "request accounting does not balance"
+    if not math.isfinite(report.duration_ms):
+        return "non-finite simulated duration"
+    return None

@@ -39,6 +39,8 @@ import os
 from time import perf_counter
 from typing import Any, Callable, Protocol
 
+from repro.errors import ReproError
+
 #: Environment variable selecting the kernel execution mode for newly
 #: created simulators: any value other than ``"0"`` (or unset) enables
 #: the fast path.  The differential test tier flips this to pit the two
@@ -53,8 +55,16 @@ def default_fastpath() -> bool:
     return os.environ.get(FASTPATH_ENV, "1") != "0"
 
 
-class SimulationError(RuntimeError):
-    """Raised for invalid simulator operations (e.g. scheduling in the past)."""
+class SimulationError(ReproError):
+    """Raised for invalid simulator operations (e.g. scheduling in the past).
+
+    Part of the :mod:`repro.exp.errors` taxonomy: a bit-deterministic
+    simulator fails the same way every time, so the whole family is
+    ``status="diverged"`` and never retryable.
+    """
+
+    status = "diverged"
+    retryable = False
 
 
 class SupportsWatchdog(Protocol):

@@ -107,11 +107,21 @@ class WatchdogDiagnosis:
 
 
 class WatchdogTrip(SimulationError):
-    """A watchdog budget was exceeded; carries the full diagnosis."""
+    """A watchdog budget was exceeded; carries the full diagnosis.
+
+    Taxonomy: a wall-clock trip (``reason == "max_wall"``) is the host
+    running out of patience — ``status="timeout"`` — while every other
+    budget (events, simulated time, stall window) is the deterministic
+    simulation itself misbehaving, so it stays ``"diverged"``.  Neither
+    is retryable: re-running a bit-deterministic simulation reproduces
+    the same trajectory.
+    """
 
     def __init__(self, diagnosis: WatchdogDiagnosis) -> None:
         super().__init__(diagnosis.format())
         self.diagnosis = diagnosis
+        if diagnosis.reason == "max_wall":
+            self.status = "timeout"
 
 
 class Watchdog:

@@ -99,10 +99,15 @@ class Workload:
 def resolve_workload(benchmark_key: str, seed: int = 0) -> Workload:
     """Resolve a benchmark key into a content-addressed :class:`Workload`.
 
-    Unknown keys raise the registry's :class:`KeyError` listing every
-    valid key — the single source of truth the CLI's exit-2 paths and
-    every backend share.
+    Dataset shorthands (``"qm9"``) canonicalize first, so a shorthand
+    and its full key always share one cache fingerprint.  Unknown keys
+    raise the registry's :class:`KeyError` listing every valid key — the
+    single source of truth the CLI's exit-2 paths and every backend
+    share.
     """
+    from repro.models.registry import resolve_benchmark_key
+
+    benchmark_key = resolve_benchmark_key(benchmark_key)
     benchmark = benchmark_by_key(benchmark_key)
     stats = DATASETS[benchmark.dataset.lower()]
     params = benchmark_model_config(benchmark)

@@ -58,16 +58,20 @@ class SystemOptions:
     Each backend reads the options that apply to it and ignores the
     rest: ``config_name``/``noc_backend`` select the accelerator's
     Table VI row and interconnect model, ``clock_ghz`` sets the
-    accelerator tile clock (and the Eyeriss array clock), and
-    ``measured`` switches the CPU/GPU baselines between the paper's
-    measured Table VII latencies (the default, what Figure 8 normalizes
-    against) and the analytical machine-model prediction.
+    accelerator tile clock (and the Eyeriss array clock), ``measured``
+    switches the CPU/GPU baselines between the paper's measured
+    Table VII latencies (the default, what Figure 8 normalizes against)
+    and the analytical machine-model prediction, and ``fast_forward``
+    enables the accelerator's approximate contention-free scheduling
+    mode (part of the cache fingerprint — exact and approximate runs
+    never share entries).
     """
 
     config_name: str | None = None
     clock_ghz: float | None = None
     noc_backend: str | None = None
     measured: bool = True
+    fast_forward: bool = False
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,84 @@
+"""Exact nearest-rank percentiles: the one tail-latency definition.
+
+Nearest-rank (1-based ``ceil(p/100 * n)``-th smallest) always returns an
+element of the sample — no interpolation — so percentile equality across
+runs, processes, and ``--jobs`` settings is meaningful bit for bit.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exp.stats import (
+    STANDARD_PERCENTILES,
+    nearest_rank,
+    percentile_summary,
+)
+
+
+class TestNearestRank:
+    def test_textbook_example(self):
+        # The canonical worked example: ranks land on exact elements.
+        values = [15, 20, 35, 40, 50]
+        assert nearest_rank(values, 30) == 20
+        assert nearest_rank(values, 40) == 20
+        assert nearest_rank(values, 50) == 35
+        assert nearest_rank(values, 100) == 50
+
+    def test_single_element(self):
+        assert nearest_rank([7.5], 50) == 7.5
+        assert nearest_rank([7.5], 99) == 7.5
+
+    def test_input_order_is_irrelevant(self):
+        assert nearest_rank([3, 1, 2], 50) == nearest_rank([1, 2, 3], 50)
+
+    def test_p100_is_the_maximum(self):
+        assert nearest_rank([9, 4, 6], 100) == 9
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            nearest_rank([], 50)
+
+    @pytest.mark.parametrize("pct", [0.0, -1.0, 100.5])
+    def test_percentile_out_of_range_rejected(self, pct):
+        with pytest.raises(ValueError):
+            nearest_rank([1.0], pct)
+
+
+class TestPercentileSummary:
+    def test_standard_labels(self):
+        summary = percentile_summary([1.0, 2.0, 3.0])
+        assert list(summary) == ["p50", "p95", "p99"]
+
+    def test_custom_percentiles_format_compactly(self):
+        assert list(percentile_summary([1.0], (25.0, 99.9))) \
+            == ["p25", "p99.9"]
+
+    def test_empty_sample_gives_empty_summary(self):
+        assert percentile_summary([]) == {}
+
+    def test_standard_percentiles_are_the_serving_tails(self):
+        assert STANDARD_PERCENTILES == (50.0, 95.0, 99.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=-1e9, max_value=1e9),
+                    min_size=1, max_size=50),
+    pct=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_result_is_always_a_sample_element(values, pct):
+    assert nearest_rank(values, pct) in values
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    values=st.lists(st.floats(min_value=-1e9, max_value=1e9),
+                    min_size=1, max_size=50),
+    lo=st.floats(min_value=0.1, max_value=100.0),
+    hi=st.floats(min_value=0.1, max_value=100.0),
+)
+def test_monotone_in_percentile(values, lo, hi):
+    if lo > hi:
+        lo, hi = hi, lo
+    assert nearest_rank(values, lo) <= nearest_rank(values, hi)

@@ -1,0 +1,98 @@
+"""ServeReport serialization, derived metrics, and golden-band checks."""
+
+import pytest
+
+from repro.serve import (
+    ArrivalSpec,
+    ServePolicy,
+    ServeReport,
+    ServiceTimes,
+    format_report,
+    simulate_serving,
+    slo_band,
+)
+
+TABLE = ServiceTimes(system="toy", exact_ms={"bench": 2.0},
+                     approx_ms={"bench": 2.0})
+SPEC = ArrivalSpec(rate_qps=300, duration_ms=300, seed=1)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return simulate_serving(SPEC.generate(["bench"]), TABLE, instances=2,
+                            policy=ServePolicy(slo_ms=30.0), arrival=SPEC)
+
+
+class TestDerivedMetrics:
+    def test_attainment_is_within_slo_over_generated(self, report):
+        assert report.slo_attainment \
+            == report.slo_attained / report.generated
+
+    def test_throughput_uses_simulated_duration(self, report):
+        assert report.throughput_qps == pytest.approx(
+            report.completed / (report.duration_ms / 1_000.0)
+        )
+
+    def test_empty_run_attains_trivially(self):
+        empty = simulate_serving([], TABLE, instances=1, arrival=SPEC)
+        assert empty.generated == 0
+        assert empty.slo_attainment == 1.0
+        assert empty.percentiles() == {}
+
+
+class TestSerialization:
+    def test_round_trip_preserves_everything(self, report):
+        clone = ServeReport.from_dict(report.to_dict())
+        assert clone.to_dict() == report.to_dict()
+
+    def test_dict_is_json_ready(self, report):
+        import json
+
+        json.dumps(report.to_dict())  # must not raise
+
+    def test_unknown_schema_rejected(self, report):
+        data = report.to_dict()
+        data["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema"):
+            ServeReport.from_dict(data)
+
+    def test_dict_carries_derived_fields_for_tooling(self, report):
+        data = report.to_dict()
+        assert data["slo_attainment"] == report.slo_attainment
+        assert set(data["percentiles"]) == {"p50", "p95", "p99"}
+
+
+class TestFormatting:
+    def test_human_rendering_names_the_load_story(self, report):
+        text = format_report(report, saturation=123.4)
+        assert "generated=" in text
+        assert "p99=" in text
+        assert "attainment" in text
+        assert "saturation 123.4 qps" in text
+        assert "instance.0" in text and "instance.1" in text
+
+    def test_degradation_only_mentioned_when_it_happened(self, report):
+        assert "degraded" not in format_report(report)
+
+
+class TestGoldenBand:
+    def test_within_band_returns_none(self, report):
+        golden = {"min_attainment": 0.0, "max_attainment": 1.0,
+                  "generated": report.generated}
+        assert slo_band(report, golden) is None
+
+    def test_attainment_outside_band_is_described(self, report):
+        violation = slo_band(report, {"min_attainment": 1.1})
+        assert violation is not None
+        assert "attainment" in violation
+
+    def test_trace_drift_is_described(self, report):
+        violation = slo_band(report, {"generated": report.generated + 1})
+        assert violation is not None
+        assert "drifted" in violation
+
+    def test_completion_floor_is_enforced(self, report):
+        violation = slo_band(report,
+                             {"completed_min": report.completed + 1})
+        assert violation is not None
+        assert "floor" in violation

@@ -387,3 +387,170 @@ class TestCommands:
         assert "FAILED" in captured.out  # per-point table cell
         assert "TIMEOUT" in captured.err  # failure summary
         assert "budget blown" in captured.err
+
+
+class TestServeSimParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["serve-sim", "qm9"])
+        assert args.benchmarks == ["qm9"]
+        assert list(args.systems) == []  # resolved to ("accel",) at run time
+        assert args.instances == 2
+        assert args.arrival == "poisson"
+        assert args.rate == 100.0
+        assert args.seed == 0
+        assert args.slo_ms == 50.0
+        assert args.timeout_ms is None
+        assert args.fault == []
+        assert not args.no_saturation
+
+    def test_full_argument_surface(self):
+        args = build_parser().parse_args(
+            ["serve-sim", "qm9", "gcn-cora", "--systems", "accel", "cpu",
+             "--instances", "4", "--arrival", "bursty", "--rate", "250",
+             "--duration-ms", "2000", "--seed", "7", "--slo-ms", "20",
+             "--queue-bound", "128", "--max-batch", "16",
+             "--timeout-ms", "80", "--retries", "2",
+             "--fault", "crash:0@200", "--fault", "degrade:1@100+500x6",
+             "--jobs", "4", "--noc-backend", "analytical",
+             "--no-saturation", "--output", "/tmp/serve.json"]
+        )
+        assert args.benchmarks == ["qm9", "gcn-cora"]
+        assert args.systems == ["accel", "cpu"]
+        assert args.arrival == "bursty"
+        assert args.fault == ["crash:0@200", "degrade:1@100+500x6"]
+        assert args.no_saturation
+
+    def test_unknown_arrival_kind_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve-sim", "qm9",
+                                       "--arrival", "pareto"])
+
+
+class TestServeSimCommand:
+    def test_serves_on_baselines_and_reports_tails(self, capsys, tmp_path):
+        out_path = tmp_path / "serve.json"
+        code = main(["serve-sim", "qm9", "--systems", "cpu", "gpu",
+                     "--instances", "2", "--rate", "10", "--slo-ms", "5000",
+                     "--duration-ms", "500", "--seed", "0",
+                     "--output", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving cpu x2 on mpnn-qm9_1000" in out  # shorthand resolved
+        assert "serving gpu x2" in out
+        for token in ("p50=", "p95=", "p99=", "attainment", "saturation"):
+            assert token in out
+        import json
+
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        assert set(document["reports"]) == {"cpu", "gpu"}
+        cpu = document["reports"]["cpu"]
+        assert cpu["generated"] == cpu["completed"] + cpu["shed"] \
+            + cpu["failed"]
+        assert cpu["saturation_qps"] > 0
+        assert "serve/scheduler" in cpu["metrics"]
+
+    def test_seeded_run_is_bit_identical(self, capsys, tmp_path):
+        argv = ["serve-sim", "gcn-cora", "--systems", "cpu", "--rate",
+                "200", "--slo-ms", "100", "--seed", "3", "--no-saturation"]
+        first_code = main(argv + ["--output", str(tmp_path / "a.json")])
+        second_code = main(argv + ["--output", str(tmp_path / "b.json")])
+        capsys.readouterr()
+        assert first_code == second_code == 0
+        assert (tmp_path / "a.json").read_bytes() \
+            == (tmp_path / "b.json").read_bytes()
+
+    def test_crash_fault_completes_with_failover(self, capsys):
+        code = main(["serve-sim", "gcn-cora", "--systems", "cpu",
+                     "--instances", "2", "--rate", "400",
+                     "--slo-ms", "100", "--duration-ms", "300",
+                     "--fault", "crash:0@50", "--no-saturation"])
+        assert code == 0  # completed without hanging, accounting balanced
+        out = capsys.readouterr().out
+        assert "instance.0 [down]" in out
+
+    def test_unsupported_workloads_are_noted_not_fatal(self, capsys):
+        # eyeriss cannot serve GAT; the run must say so and exit 1 only
+        # when *no* system could serve.
+        code = main(["serve-sim", "gat-cora", "--systems", "eyeriss"])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "skipped" in captured.out
+        assert "no system could serve" in captured.err
+
+    def test_bad_fault_spec_exits_2(self, capsys):
+        code = main(["serve-sim", "gcn-cora", "--fault", "meltdown:0@1"])
+        assert code == 2
+        assert "KIND:INSTANCE@MS" in capsys.readouterr().err
+
+    def test_bad_policy_value_exits_2(self, capsys):
+        code = main(["serve-sim", "gcn-cora", "--slo-ms", "0"])
+        assert code == 2
+        assert "slo_ms" in capsys.readouterr().err
+
+    def test_ambiguous_shorthand_exits_2(self, capsys):
+        code = main(["serve-sim", "cora", "--systems", "cpu"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "ambiguous" in err
+        assert "gcn-cora" in err and "gat-cora" in err
+
+
+class TestUnknownNameContract:
+    """Satellite regression: every name-taking subcommand resolves
+    through ``_resolve_names`` and exits 2 on an unknown name."""
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "bert-wikipedia"],
+        ["profile", "bert-wikipedia"],
+        ["compare", "bert-wikipedia"],
+        ["sweep", "--benchmarks", "bert-wikipedia"],
+        ["serve-sim", "bert-wikipedia"],
+    ])
+    def test_unknown_benchmark_exits_2_everywhere(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "bert-wikipedia" in err
+        assert "gcn-cora" in err  # lists the valid names
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "gcn-cora", "--system", "tpu"],
+        ["profile", "gcn-cora", "--system", "tpu"],
+        ["compare", "gcn-cora", "--systems", "tpu"],
+        ["sweep", "--system", "tpu"],
+        ["serve-sim", "gcn-cora", "--systems", "tpu"],
+    ])
+    def test_unknown_system_exits_2_everywhere(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "tpu" in err
+        assert "eyeriss" in err  # lists the valid names
+
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "gcn-cora", "--noc-backend", "booksim"],
+        ["profile", "gcn-cora", "--noc-backend", "booksim"],
+        ["compare", "gcn-cora", "--noc-backend", "booksim"],
+        ["sweep", "--noc-backend", "booksim"],
+        ["serve-sim", "gcn-cora", "--noc-backend", "booksim"],
+    ])
+    def test_unknown_noc_backend_exits_2_everywhere(self, argv, capsys):
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "booksim" in err
+        assert "analytical" in err  # lists the valid names
+
+
+class TestBenchmarkShorthands:
+    def test_simulate_accepts_dataset_shorthand(self, capsys):
+        assert main(["simulate", "qm9", "--system", "cpu"]) == 0
+        # The canonical key, not the shorthand, names the run (and the
+        # cache entry).
+        assert "mpnn-qm9_1000 on cpu" in capsys.readouterr().out
+
+    def test_sweep_accepts_dataset_shorthand(self, capsys):
+        assert main(["sweep", "--system", "cpu", "--benchmarks", "dblp",
+                     "--jobs", "1", "--no-cache"]) == 0
+        assert "pgnn-dblp_1" in capsys.readouterr().out
+
+    def test_compare_accepts_dataset_shorthand(self, capsys):
+        assert main(["compare", "pubmed", "--systems", "cpu"]) == 0
+        assert "gcn-pubmed" in capsys.readouterr().out
