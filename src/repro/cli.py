@@ -37,14 +37,19 @@ def _cmd_list(_args) -> None:
     print("           serve-sim <benchmark ...> [--systems ...]"
           " [--instances N] [--arrival poisson|bursty] [--rate QPS]"
           " [--slo-ms MS] [--seed N] [--fault SPEC]")
+    print("           partition-sweep <benchmark> [--chips 1 2 4 8]"
+          " [--method metis|bfs] [--link-bandwidth-gbps GBPS]"
+          " [--jobs N] [--output PATH]")
     print("           systems noc-backends")
     from repro.models import BENCHMARKS
     from repro.noc.backends import backend_names
+    from repro.partition import method_names
     from repro.systems import system_names
 
     print(f"benchmarks: {' '.join(b.key for b in BENCHMARKS)}")
     print(f"systems: {' '.join(system_names())}")
     print(f"noc backends: {' '.join(backend_names())}")
+    print(f"partition methods: {' '.join(method_names())}")
 
 
 def _cmd_noc_backends(_args) -> None:
@@ -89,6 +94,7 @@ def _resolve_names(
     noc_backend: str | None = None,
     benchmarks: "tuple[str, ...] | list[str]" = (),
     systems: "tuple[str, ...] | list[str]" = (),
+    partition_method: str | None = None,
 ) -> int | None:
     """Print a one-line error and return 2 for any unknown name.
 
@@ -97,14 +103,18 @@ def _resolve_names(
     :func:`repro.models.registry.resolve_benchmark_key` (so dataset
     shorthands like ``qm9`` are accepted and ambiguous ones rejected
     with candidates), configurations through
-    :func:`repro.accel.config.configuration_by_name`, execution systems
-    and NoC backends through their registries.  Runs before any
-    simulation or worker spawn, so a typo fails in milliseconds listing
-    the valid names.
+    :func:`repro.accel.config.configuration_by_name`, execution systems,
+    NoC backends, and partition methods through their registries.  Runs
+    before any simulation or worker spawn, so a typo fails in
+    milliseconds listing the valid names.
     """
     from repro.accel.config import configuration_by_name
     from repro.models.registry import resolve_benchmark_key
     from repro.noc.backends import UnknownBackendError, validate_backend
+    from repro.partition.methods import (
+        UnknownPartitionMethodError,
+        validate_method,
+    )
     from repro.systems import UnknownSystemError, validate_system
 
     try:
@@ -118,7 +128,10 @@ def _resolve_names(
             validate_system(name)
         if noc_backend is not None:
             validate_backend(noc_backend)
-    except (KeyError, UnknownSystemError, UnknownBackendError) as exc:
+        if partition_method is not None:
+            validate_method(partition_method)
+    except (KeyError, UnknownSystemError, UnknownBackendError,
+            UnknownPartitionMethodError) as exc:
         print(f"repro {command}: {exc.args[0]}", file=sys.stderr)
         return 2
     return None
@@ -642,6 +655,79 @@ def _cmd_serve_sim(args) -> int:
     return exit_code
 
 
+def _cmd_partition_sweep(args) -> int:
+    """Multi-chip scaling curve: partition a benchmark across N chips and
+    price compute (max shard) plus inter-chip communication per count."""
+    import json
+
+    from repro.exp.cache import DEFAULT_CACHE, ResultCache
+    from repro.exp.runner import default_jobs
+
+    code = _resolve_names(
+        "partition-sweep", benchmark=args.benchmark, config=args.config,
+        noc_backend=args.noc_backend, partition_method=args.method,
+    )
+    if code is not None:
+        return code
+    from repro.eval.partition_sweep import (
+        partition_scaling,
+        scaling_document,
+    )
+    from repro.models.registry import resolve_benchmark_key
+
+    benchmark_key = resolve_benchmark_key(args.benchmark)
+    cache = (ResultCache(args.cache_dir) if args.cache_dir is not None
+             else DEFAULT_CACHE)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+
+    def progress(point, report, was_cached) -> None:
+        source = "cache" if was_cached else "sim"
+        print(f"  [{source:>5s}] {point.describe()}: "
+              f"{report.latency_ms:10.3f} ms")
+
+    try:
+        curve = partition_scaling(
+            benchmark_key,
+            chip_counts=args.chips,
+            method=args.method,
+            seed=args.seed,
+            config_name=args.config,
+            clock_ghz=args.clock,
+            noc_backend=args.noc_backend,
+            link_bandwidth_gbps=args.link_bandwidth_gbps,
+            link_latency_us=args.link_latency_us,
+            jobs=jobs,
+            cache=cache,
+            progress=progress,
+        )
+    except ValueError as exc:
+        print(f"repro partition-sweep: {exc}", file=sys.stderr)
+        return 2
+    print(format_table(
+        ["Chips", "Latency (ms)", "Speedup", "Compute (ms)", "Comm (ms)",
+         "Comm (MB)", "Cut edges", "Halo nodes", "Balance"],
+        [
+            (p.chips, p.latency_ms, f"{p.speedup:.2f}x", p.compute_ms,
+             p.communication_ms, p.communication_mb, p.cut_edges,
+             p.halo_nodes, f"{p.balance:.2f}")
+            for p in curve
+        ],
+        title=(f"{benchmark_key} scaling ({args.method}, "
+               f"{args.config} @ {args.clock:g} GHz)"),
+    ))
+    if args.output is not None:
+        document = scaling_document(
+            benchmark_key, curve, args.method, args.seed, args.config,
+            args.clock, args.noc_backend,
+            link_bandwidth_gbps=args.link_bandwidth_gbps,
+            link_latency_us=args.link_latency_us,
+        )
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+        print(f"wrote scaling curve to {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -872,6 +958,58 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="write the JSON serving report(s) to PATH",
     )
+    psweep = sub.add_parser(
+        "partition-sweep",
+        help="multi-chip scaling curve: speedup and communication volume "
+             "vs chip count",
+    )
+    psweep.add_argument(
+        "benchmark", help="benchmark key or dataset shorthand (e.g. pubmed)",
+    )
+    psweep.add_argument(
+        "--chips", nargs="*", type=int, default=(1, 2, 4, 8), metavar="N",
+        help="chip counts to sweep (default: 1 2 4 8)",
+    )
+    psweep.add_argument(
+        "--method", default="metis", metavar="NAME",
+        help="partition method: metis (default) or bfs",
+    )
+    psweep.add_argument(
+        "--seed", type=int, default=0,
+        help="partition seed; part of every cache key (default: 0)",
+    )
+    psweep.add_argument(
+        "--config", default="CPU iso-BW",
+        help="Table VI row simulated per chip (default: CPU iso-BW)",
+    )
+    psweep.add_argument("--clock", type=float, default=2.4, metavar="GHZ")
+    psweep.add_argument(
+        "--noc-backend", default=None, metavar="NAME",
+        help="NoC model for every shard simulation: packet (default), "
+             "flit, analytical",
+    )
+    psweep.add_argument(
+        "--link-bandwidth-gbps", type=float, default=None, metavar="GBPS",
+        help="inter-chip link bandwidth (default: 100)",
+    )
+    psweep.add_argument(
+        "--link-latency-us", type=float, default=None, metavar="US",
+        help="per-exchange-round link latency (default: 1)",
+    )
+    psweep.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="parallel workers for the shard simulations "
+             "(default: all cores)",
+    )
+    psweep.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent cache root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    psweep.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the scaling curve as JSON to PATH",
+    )
     return parser
 
 
@@ -893,6 +1031,7 @@ def main(argv: list[str] | None = None) -> int:
         "profile": _cmd_profile,
         "sweep": _cmd_sweep,
         "serve-sim": _cmd_serve_sim,
+        "partition-sweep": _cmd_partition_sweep,
     }
     if args.command in ("table1", "table3", "table4", "table5", "table6"):
         _cmd_config_table(args.command)

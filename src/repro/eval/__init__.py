@@ -40,6 +40,11 @@ from repro.eval.sweeps import (
     clock_sweep,
     tile_sweep,
 )
+from repro.eval.partition_sweep import (
+    ScalingPoint,
+    partition_scaling,
+    scaling_document,
+)
 
 __all__ = [
     "Section2Row",
@@ -67,4 +72,7 @@ __all__ = [
     "bandwidth_sweep",
     "tile_sweep",
     "bound_analysis",
+    "ScalingPoint",
+    "partition_scaling",
+    "scaling_document",
 ]

@@ -77,14 +77,23 @@ class Point:
     names the Table VI row and ``clock_ghz`` overrides its tile clock
     (Figure 8 sweeps the clock while the config identifies the row).
     Any other registered :mod:`repro.systems` name (``"cpu"``,
-    ``"gpu"``, ``"eyeriss"``) runs the benchmark on that backend
-    instead; such points carry no accelerator config.
+    ``"gpu"``, ``"eyeriss"``, ``"multichip"``) runs the benchmark on
+    that backend instead; such points carry no accelerator config.
+
+    ``shard`` (a :class:`repro.partition.core.ShardSpec`, accel points
+    only) restricts the point to one shard of a partitioned input: the
+    shard's induced subgraph is compiled and simulated instead of the
+    whole graph, under a cache key extended with the shard identity.
+    This is how partition scaling sweeps parallelize — each shard is an
+    independent point flowing through the same pool, retry policy, and
+    cache layers as every whole-graph point.
     """
 
     benchmark_key: str
     config: AcceleratorConfig | None = None
     clock_ghz: float | None = None
     system: str = ACCEL_SYSTEM
+    shard: Any = None  # repro.partition.core.ShardSpec | None
 
     def __post_init__(self) -> None:
         if self.system == ACCEL_SYSTEM:
@@ -93,11 +102,17 @@ class Point:
                     "accelerator points need an AcceleratorConfig; "
                     "pass config= or pick a different system="
                 )
-        elif self.config is not None:
-            raise ValueError(
-                f"system {self.system!r} does not take an accelerator "
-                f"config; leave config=None"
-            )
+        else:
+            if self.config is not None:
+                raise ValueError(
+                    f"system {self.system!r} does not take an accelerator "
+                    f"config; leave config=None"
+                )
+            if self.shard is not None:
+                raise ValueError(
+                    f"system {self.system!r} does not take a shard spec; "
+                    f"shard points run on the accel system"
+                )
 
     @property
     def resolved_config(self) -> AcceleratorConfig:
@@ -124,11 +139,19 @@ class Point:
 
         Accelerator points keep :func:`repro.exp.cache.point_key` — the
         exact key direct ``run_config`` calls use, so sweeps and single
-        runs share entries.  Cross-system points hash their
+        runs share entries.  Shard points use the shard-extended key
+        (:func:`repro.partition.shards.shard_point_key`) — the exact key
+        direct ``run_shard`` calls use.  Cross-system points hash their
         :meth:`~repro.systems.base.ExecutionPlan.fingerprint`; every
         fingerprint names its system, so systems never collide.
         """
         if self.system == ACCEL_SYSTEM:
+            if self.shard is not None:
+                from repro.partition.shards import shard_point_key
+
+                return shard_point_key(
+                    self.benchmark_key, self.resolved_config, self.shard
+                )
             return point_key(self.benchmark_key, self.resolved_config)
         from repro.systems import UnsupportedWorkloadError
 
@@ -152,7 +175,16 @@ class Point:
             clock = "" if self.clock_ghz is None else f" @{self.clock_ghz:g} GHz"
             return f"{self.benchmark_key} on {self.system}{clock}"
         config = self.resolved_config
-        return f"{self.benchmark_key} on {config.name} @{config.clock_ghz:g} GHz"
+        shard = (
+            ""
+            if self.shard is None
+            else f" shard {self.shard.index}/{self.shard.chips}"
+            f" ({self.shard.method})"
+        )
+        return (
+            f"{self.benchmark_key}{shard} on {config.name} "
+            f"@{config.clock_ghz:g} GHz"
+        )
 
 
 @dataclass(frozen=True)
@@ -341,13 +373,21 @@ def simulate_point(
     ``config`` overrides the point's resolved configuration — used to
     apply execution budgets without changing the cache identity.
     ``observer`` (a :class:`repro.obs.Observer`) attaches metrics
-    collection; instrumentation never changes the report.
+    collection; instrumentation never changes the report.  Shard points
+    compile the shard's induced subgraph (memoized the same way)
+    instead of the whole benchmark input.
     """
     from repro.eval.accelerator import _compiled_program
     from repro.runtime.engine import simulate
 
+    if point.shard is not None:
+        from repro.partition.shards import compiled_shard_program
+
+        program = compiled_shard_program(point.benchmark_key, point.shard)
+    else:
+        program = _compiled_program(point.benchmark_key)
     return simulate(
-        _compiled_program(point.benchmark_key),
+        program,
         config if config is not None else point.resolved_config,
         observer=observer,
     )
@@ -597,17 +637,30 @@ def _run_parallel(
     by killing the pool, and falls back to serial execution when a pool
     cannot be created at all.
     """
-    # Compile each distinct accelerator benchmark once in the parent
-    # before the pool starts: fork-based workers inherit the warm program
-    # memo instead of all re-compiling (and re-generating datasets)
-    # independently.  Cross-system points need no compilation.
+    # Compile each distinct accelerator benchmark (and partitioned
+    # shard) once in the parent before the pool starts: fork-based
+    # workers inherit the warm program memo instead of all re-compiling
+    # (and re-generating datasets / re-partitioning) independently.
+    # Cross-system points need no compilation.
     from repro.eval.accelerator import _compiled_program
 
     accel_benchmarks = dict.fromkeys(
-        p.benchmark_key for p in missing if p.system == ACCEL_SYSTEM
+        p.benchmark_key
+        for p in missing
+        if p.system == ACCEL_SYSTEM and p.shard is None
     )
     for benchmark_key in accel_benchmarks:
         _compiled_program(benchmark_key)
+    shard_points = dict.fromkeys(
+        (p.benchmark_key, p.shard)
+        for p in missing
+        if p.system == ACCEL_SYSTEM and p.shard is not None
+    )
+    if shard_points:
+        from repro.partition.shards import compiled_shard_program
+
+        for benchmark_key, shard in shard_points:
+            compiled_shard_program(benchmark_key, shard)
 
     workers = min(jobs, len(missing))
     queue: deque[_Pending] = deque(_Pending(point) for point in missing)

@@ -1,0 +1,73 @@
+"""Closed-form inter-chip communication volumes for a partition.
+
+Follows the model of Guirado et al., *"Characterizing the Communication
+Requirements of GNN Accelerators"* (PAPERS.md): during every aggregation
+layer each chip must receive the feature vectors of the remote vertices
+its local reductions consume.  Two closed forms bracket the traffic:
+
+* :func:`edge_volume_bytes` — the paper's per-edge upper form: every
+  directed cut entry moves one ``width``-wide feature vector, so the
+  layer volume is ``cut_edges * width * value_bytes``.
+* :func:`halo_volume_bytes` — the deduplicated (scatter-once) form a
+  halo-exchange implementation achieves: a remote vertex's feature is
+  sent once per *consuming shard*, not once per edge, so the layer
+  volume is ``sum_over_shards(|halo(shard)|) * width * value_bytes``.
+
+``halo <= edge`` always, with equality exactly when no boundary vertex
+feeds two cut edges into the same shard.  The multi-chip system prices
+the halo form (its links are point-to-point, so a vertex re-used inside
+one chip is fetched once) and the test suite validates both against a
+brute-force recount over the graph's edges.
+"""
+
+from __future__ import annotations
+
+from repro.models.workload import BYTES_PER_VALUE, EdgeAggregation, ModelWorkload
+from repro.partition.core import Partition
+
+
+def halo_volume_bytes(
+    partition: Partition, width: int, value_bytes: int = BYTES_PER_VALUE
+) -> int:
+    """Deduplicated feature bytes exchanged in one ``width``-wide
+    aggregation layer (each halo vertex sent once per consuming shard)."""
+    return partition.total_halo_nodes * width * value_bytes
+
+
+def edge_volume_bytes(
+    partition: Partition, width: int, value_bytes: int = BYTES_PER_VALUE
+) -> int:
+    """Guirado-style per-cut-edge feature bytes for one aggregation
+    layer (no deduplication across edges sharing a source)."""
+    return partition.total_cut_edges * width * value_bytes
+
+
+def aggregation_ops(workload: ModelWorkload) -> list[EdgeAggregation]:
+    """The workload's graph-structured reduction layers, in issue order.
+
+    These are the operations whose operands live on neighbour vertices —
+    the only layers that move features between chips under vertex-cut
+    free (edge-cut) partitioning; dense per-vertex layers are fully
+    local by construction.
+    """
+    return [op for op in workload.ops if isinstance(op, EdgeAggregation)]
+
+
+def communication_volume_bytes(
+    partition: Partition,
+    workload: ModelWorkload,
+    value_bytes: int = BYTES_PER_VALUE,
+    per_edge: bool = False,
+) -> int:
+    """Total inter-chip feature bytes for one inference pass.
+
+    Sums the per-layer closed form over every aggregation layer of the
+    model (a layer executed ``count`` times exchanges ``count`` times —
+    the MPNN's T unrolled message steps, the PGNN's per-layer hops).
+    ``per_edge=True`` selects the undeduplicated Guirado upper form.
+    """
+    form = edge_volume_bytes if per_edge else halo_volume_bytes
+    return sum(
+        form(partition, op.width, value_bytes) * op.count
+        for op in aggregation_ops(workload)
+    )

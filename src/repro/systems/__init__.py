@@ -37,6 +37,9 @@ from repro.systems.registry import (
     system_names,
     validate_system,
 )
+# Imported after the registry so the builtin-registration bootstrap
+# (registry bottom) is what first executes the backend modules.
+from repro.systems.multichip import MultiChipConfig, MultiChipSystem
 from repro.systems.serialize import (
     system_report_from_dict,
     system_report_to_dict,
@@ -50,6 +53,8 @@ __all__ = [
     "UnsupportedWorkloadError",
     "Workload",
     "resolve_workload",
+    "MultiChipConfig",
+    "MultiChipSystem",
     "DEFAULT_SYSTEM",
     "SYSTEM_ENV",
     "SystemInfo",

@@ -4,21 +4,24 @@ The harness selects the execution system by name — ``python -m repro
 sweep --system cpu``, ``run_system("eyeriss", ...)``, or the
 ``REPRO_SYSTEM`` environment variable for a whole process — and this
 module maps the name to a factory, exactly like
-:mod:`repro.noc.backends` does for interconnect models.  Four systems
+:mod:`repro.noc.backends` does for interconnect models.  Five systems
 ship built in:
 
-======== ===================================== ========================
-name     model                                 paper artifact
-======== ===================================== ========================
-accel    event-driven GNN accelerator          Figures 8 & 10,
-         simulation (:mod:`repro.runtime`)     Table VI rows
-cpu      Xeon E5-2680v4 baseline               Table VII "CPU" column
-         (:mod:`repro.baselines`)
-gpu      Titan XP baseline                     Table VII "GPU" column
-         (:mod:`repro.baselines`)
-eyeriss  dense spatial-array dataflow mapper   Table II / Figure 2
-         (:mod:`repro.dataflow`)               (Section II study)
-======== ===================================== ========================
+========= ===================================== ========================
+name      model                                 paper artifact
+========= ===================================== ========================
+accel     event-driven GNN accelerator          Figures 8 & 10,
+          simulation (:mod:`repro.runtime`)     Table VI rows
+cpu       Xeon E5-2680v4 baseline               Table VII "CPU" column
+          (:mod:`repro.baselines`)
+gpu       Titan XP baseline                     Table VII "GPU" column
+          (:mod:`repro.baselines`)
+eyeriss   dense spatial-array dataflow mapper   Table II / Figure 2
+          (:mod:`repro.dataflow`)               (Section II study)
+multichip N partitioned accelerator chips       scaling study
+          joined by an inter-chip link model    (Section V outlook)
+          (:mod:`repro.partition`)
+========= ===================================== ========================
 
 Every plan fingerprint — and therefore every result-cache key — names
 its system, so two systems never share cached results.
@@ -28,7 +31,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Callable
+from typing import Any, Callable
 
 from repro.systems.base import ExecutionBackend
 
@@ -64,7 +67,10 @@ class SystemOptions:
     and the analytical machine-model prediction, and ``fast_forward``
     enables the accelerator's approximate contention-free scheduling
     mode (part of the cache fingerprint — exact and approximate runs
-    never share entries).
+    never share entries).  ``multichip`` carries the partition and
+    inter-chip-link configuration of the ``multichip`` system
+    (:class:`repro.systems.multichip.MultiChipConfig`); every other
+    backend ignores it.
     """
 
     config_name: str | None = None
@@ -72,6 +78,7 @@ class SystemOptions:
     noc_backend: str | None = None
     measured: bool = True
     fast_forward: bool = False
+    multichip: "Any | None" = None
 
 
 @dataclass(frozen=True)
@@ -143,6 +150,7 @@ def _register_builtins() -> None:
     from repro.systems.accel import AcceleratorSystem
     from repro.systems.baseline import CPU_SYSTEM_NAME, GPU_SYSTEM_NAME, BaselineSystem
     from repro.systems.eyeriss import EyerissSystem
+    from repro.systems.multichip import MultiChipSystem
 
     register_system(
         "accel", AcceleratorSystem,
@@ -159,6 +167,10 @@ def _register_builtins() -> None:
     register_system(
         "eyeriss", EyerissSystem,
         "dense spatial-array dataflow mapper (Section II study; GCN only)",
+    )
+    register_system(
+        "multichip", MultiChipSystem,
+        "N partitioned accelerator chips with an inter-chip link model",
     )
 
 

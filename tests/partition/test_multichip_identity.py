@@ -1,0 +1,98 @@
+"""Differential tests: ``multichip`` with one chip IS the single-chip path.
+
+The multi-chip system must never drift from the accelerator backend it
+wraps.  With ``chips=1`` there is no partition, no halo, and no link
+traffic — the report has to reproduce ``run_system("accel", ...)``
+field for field (latency, full simulation detail, every accelerator
+breakdown key) on every benchmark and under both NoC backends.
+"""
+
+import pytest
+
+from repro.exp import cache as cache_mod
+from repro.models.registry import BENCHMARKS
+from repro.partition.shards import clear_partition_memo
+from repro.systems import SystemOptions, run_system
+from repro.systems.multichip import MultiChipConfig
+
+FAST_BENCHMARKS = ("gcn-cora", "gat-cora")
+ALL_BENCHMARKS = tuple(b.key for b in BENCHMARKS)
+NOC_BACKENDS = ("packet", "analytical")
+
+ACCEL_BREAKDOWN_KEYS = (
+    "bandwidth_utilization",
+    "dna_utilization",
+    "gpe_utilization",
+    "agg_utilization",
+    "dram_mb",
+)
+
+
+def _cells():
+    for benchmark_key in ALL_BENCHMARKS:
+        for noc_backend in NOC_BACKENDS:
+            marks = (
+                () if benchmark_key in FAST_BENCHMARKS
+                else (pytest.mark.slow,)
+            )
+            yield pytest.param(
+                benchmark_key,
+                noc_backend,
+                id=f"{benchmark_key}-{noc_backend}",
+                marks=marks,
+            )
+
+
+def assert_single_chip_identity(benchmark_key, noc_backend, **run_kwargs):
+    options = SystemOptions(noc_backend=noc_backend)
+    accel = run_system("accel", benchmark_key, options=options, **run_kwargs)
+    multi = run_system(
+        "multichip",
+        benchmark_key,
+        options=SystemOptions(
+            noc_backend=noc_backend, multichip=MultiChipConfig(chips=1)
+        ),
+        **run_kwargs,
+    )
+    assert multi.latency_ms == accel.latency_ms
+    assert multi.detail == accel.detail  # full SimulationReport equality
+    assert multi.benchmark == accel.benchmark
+    for key in ACCEL_BREAKDOWN_KEYS:
+        assert multi.breakdown[key] == accel.breakdown[key], key
+    assert multi.breakdown["chips"] == 1.0
+    assert multi.breakdown["communication_ms"] == 0.0
+    assert multi.breakdown["communication_mb"] == 0.0
+    assert multi.breakdown["cut_edges"] == 0.0
+    assert multi.breakdown["halo_nodes"] == 0.0
+    assert multi.breakdown["compute_ms"] == accel.latency_ms
+
+
+@pytest.mark.parametrize("benchmark_key,noc_backend", list(_cells()))
+def test_single_chip_matches_accel(benchmark_key, noc_backend):
+    assert_single_chip_identity(benchmark_key, noc_backend)
+
+
+@pytest.mark.parametrize("benchmark_key", FAST_BENCHMARKS)
+def test_fresh_execution_is_bit_identical(benchmark_key):
+    """Re-executing from scratch (memo dropped, caches off, partition
+    memo cleared) still reproduces the accel report exactly — the
+    identity is structural, not a cache artifact."""
+    with cache_mod.disabled():
+        cache_mod.clear_memo()
+        clear_partition_memo()
+        assert_single_chip_identity(benchmark_key, "analytical", cache=None)
+    cache_mod.clear_memo()
+
+
+def test_plan_key_differs_from_accel():
+    """chips=1 reproduces the report but must never share a cache entry
+    with the plain accel system: poisoned lookups would mask drift."""
+    from repro.systems import system_plan
+
+    accel_plan = system_plan("accel", "gcn-cora")
+    multi_plan = system_plan(
+        "multichip",
+        "gcn-cora",
+        options=SystemOptions(multichip=MultiChipConfig(chips=1)),
+    )
+    assert accel_plan.key != multi_plan.key

@@ -16,7 +16,7 @@ from repro.systems import (
     validate_system,
 )
 
-BUILTINS = ("accel", "cpu", "gpu", "eyeriss")
+BUILTINS = ("accel", "cpu", "gpu", "eyeriss", "multichip")
 
 
 class TestLookup:

@@ -11,7 +11,7 @@ from repro.accel.config import CPU_ISO_BW
 from repro.exp.cache import ResultCache, clear_memo, point_fingerprint
 from repro.systems import resolve_workload, run_system, system_plan
 
-SYSTEMS = ("accel", "cpu", "gpu", "eyeriss")
+SYSTEMS = ("accel", "cpu", "gpu", "eyeriss", "multichip")
 
 
 class TestResolveWorkload:

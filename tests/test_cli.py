@@ -282,7 +282,7 @@ class TestCommands:
     def test_systems_lists_backends(self, capsys):
         assert main(["systems"]) == 0
         out = capsys.readouterr().out
-        for name in ("accel", "cpu", "gpu", "eyeriss"):
+        for name in ("accel", "cpu", "gpu", "eyeriss", "multichip"):
             assert name in out
         assert "(default)" in out
         assert "Table VII" in out  # a fidelity note, not just names
@@ -505,6 +505,7 @@ class TestUnknownNameContract:
         ["compare", "bert-wikipedia"],
         ["sweep", "--benchmarks", "bert-wikipedia"],
         ["serve-sim", "bert-wikipedia"],
+        ["partition-sweep", "bert-wikipedia"],
     ])
     def test_unknown_benchmark_exits_2_everywhere(self, argv, capsys):
         assert main(argv) == 2
@@ -531,12 +532,82 @@ class TestUnknownNameContract:
         ["compare", "gcn-cora", "--noc-backend", "booksim"],
         ["sweep", "--noc-backend", "booksim"],
         ["serve-sim", "gcn-cora", "--noc-backend", "booksim"],
+        ["partition-sweep", "gcn-cora", "--noc-backend", "booksim"],
     ])
     def test_unknown_noc_backend_exits_2_everywhere(self, argv, capsys):
         assert main(argv) == 2
         err = capsys.readouterr().err
         assert "booksim" in err
         assert "analytical" in err  # lists the valid names
+
+    def test_unknown_partition_method_exits_2(self, capsys):
+        assert main(["partition-sweep", "gcn-cora", "--method", "kaffpa"]) == 2
+        err = capsys.readouterr().err
+        assert "kaffpa" in err
+        assert "metis" in err  # lists the valid names
+
+    def test_every_benchmark_taking_subcommand_is_covered(self, capsys):
+        """Introspect the argparse tree so *future* subcommands inherit
+        the contract automatically: every subcommand with a benchmark
+        argument (positional or ``--benchmarks``) must route unknown
+        names through ``_resolve_names`` and exit 2."""
+        import argparse
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        covered = []
+        for name, sub in subparsers.choices.items():
+            for action in sub._actions:
+                if action.dest not in ("benchmark", "benchmarks"):
+                    continue
+                if action.option_strings:
+                    argv = [name, action.option_strings[0], "bert-wikipedia"]
+                else:
+                    argv = [name, "bert-wikipedia"]
+                assert main(argv) == 2, f"{name} must exit 2"
+                err = capsys.readouterr().err
+                assert "bert-wikipedia" in err, f"{name} must name the typo"
+                assert "gcn-cora" in err, f"{name} must list valid names"
+                covered.append(name)
+                break
+        # The known name-taking subcommands must all have been walked.
+        assert {"simulate", "profile", "compare", "sweep", "serve-sim",
+                "partition-sweep"} <= set(covered)
+
+
+class TestPartitionSweepCommand:
+    def test_scaling_curve_and_json_output(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "scaling.json"
+        code = main(["partition-sweep", "gcn-cora", "--chips", "1", "2",
+                     "--noc-backend", "analytical", "--jobs", "1",
+                     "--output", str(out)])
+        assert code == 0
+        assert "gcn-cora scaling" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert doc["benchmark"] == "gcn-cora"
+        assert [p["chips"] for p in doc["points"]] == [1, 2]
+        single, dual = doc["points"]
+        assert single["speedup"] == 1.0
+        assert single["communication_mb"] == 0.0
+        assert dual["communication_mb"] > 0.0
+        assert dual["cut_edges"] > 0
+        assert dual["latency_ms"] == pytest.approx(
+            dual["compute_ms"] + dual["communication_ms"]
+        )
+
+    def test_bad_chip_count_exits_2(self, capsys):
+        assert main(["partition-sweep", "gcn-cora", "--chips", "0"]) == 2
+        assert "chip" in capsys.readouterr().err
+
+    def test_accepts_dataset_shorthand(self, capsys):
+        # Resolution errors (ambiguous "cora") reuse the exit-2 path.
+        assert main(["partition-sweep", "cora"]) == 2
+        assert "ambiguous" in capsys.readouterr().err
 
 
 class TestBenchmarkShorthands:
