@@ -41,12 +41,12 @@ def _cmd_list(_args) -> None:
           " [--method metis|bfs] [--link-bandwidth-gbps GBPS]"
           " [--jobs N] [--output PATH]")
     print("           systems noc-backends")
-    from repro.models import BENCHMARKS
+    from repro.models import ALL_BENCHMARKS
     from repro.noc.backends import backend_names
     from repro.partition import method_names
     from repro.systems import system_names
 
-    print(f"benchmarks: {' '.join(b.key for b in BENCHMARKS)}")
+    print(f"benchmarks: {' '.join(b.key for b in ALL_BENCHMARKS)}")
     print(f"systems: {' '.join(system_names())}")
     print(f"noc backends: {' '.join(backend_names())}")
     print(f"partition methods: {' '.join(method_names())}")

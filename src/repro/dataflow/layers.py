@@ -11,8 +11,12 @@ dense scheduler itself ignores them, exactly like a dense DNN accelerator.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.graphs.graph import Graph
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.models.ir import ModelIR
 
 
 @dataclass(frozen=True)
@@ -92,3 +96,94 @@ def gcn_dense_layers(
         MatmulLayer("project1", m=n, k=hidden, n=out_features),
         MatmulLayer("propagate1", m=n, k=n, n=out_features, a_nnz=adj_nnz),
     ]
+
+
+class UnmappableSpecError(ValueError):
+    """The IR contains a phase with no dense-matrix equivalent (e.g. a
+    dependent multi-hop traversal), so it cannot be forced through a
+    dense spatial-array mapping."""
+
+
+def unmappable_specs(ir: "ModelIR") -> list[str]:
+    """Names of the IR phases a dense mapper cannot express."""
+    from repro.models.ir import TraversalAggregate
+
+    return [
+        spec.name for spec in ir.specs
+        if isinstance(spec, TraversalAggregate)
+    ]
+
+
+def ir_dense_layers(ir: "ModelIR") -> list[MatmulLayer]:
+    """Any model's layer IR as a dense matmul sequence, Section II style.
+
+    Every dense phase becomes one fully-connected layer per attached
+    :class:`~repro.models.workload.DenseMatmul` op (repeats batched into
+    ``m``); every gather/reduce phase becomes a "convolution with the
+    adjacency matrix as the weights" whose nonzero count is the phase's
+    true input count.  Elementwise phases vanish into the streaming
+    math, exactly as a dense DNN mapping would fuse them.  For the GCN
+    benchmarks the result is :func:`gcn_dense_layers`, layer for layer.
+
+    Raises :class:`UnmappableSpecError` for phases with no dense
+    equivalent (PGNN's dependent multi-hop expansion).
+    """
+    from repro.models.ir import (
+        DenseTransform,
+        EdgeAggregate,
+        GraphReduce,
+        Pointwise,
+        TraversalAggregate,
+    )
+    from repro.models.workload import DenseMatmul
+
+    unmappable = unmappable_specs(ir)
+    if unmappable:
+        raise UnmappableSpecError(
+            f"{ir.model} IR phases {unmappable} have no dense-matrix "
+            f"equivalent (dependent multi-hop traversal)"
+        )
+    layers: list[MatmulLayer] = []
+    projects = 0
+    propagates = 0
+    for spec in ir.specs:
+        if isinstance(spec, DenseTransform):
+            for op in spec.ops:
+                if not isinstance(op, DenseMatmul):
+                    continue
+                layers.append(
+                    MatmulLayer(
+                        f"project{projects}",
+                        m=op.m * op.count,
+                        k=op.k,
+                        n=op.n,
+                    )
+                )
+                projects += 1
+        elif isinstance(spec, EdgeAggregate):
+            layers.append(
+                MatmulLayer(
+                    f"propagate{propagates}",
+                    m=spec.num_outputs,
+                    k=spec.num_outputs,
+                    n=spec.width,
+                    a_nnz=spec.num_inputs,
+                )
+            )
+            propagates += 1
+        elif isinstance(spec, GraphReduce):
+            layers.append(
+                MatmulLayer(
+                    f"propagate{propagates}",
+                    m=spec.num_outputs,
+                    k=spec.num_inputs,
+                    n=spec.width,
+                    a_nnz=spec.num_inputs,
+                )
+            )
+            propagates += 1
+        elif isinstance(spec, (Pointwise, TraversalAggregate)):
+            continue
+        else:  # pragma: no cover - new spec kinds must choose a mapping
+            raise TypeError(f"no dense mapping for {type(spec).__name__}")
+    return layers

@@ -103,12 +103,19 @@ def point_fingerprint(
     Always names the execution system (``"accel"``), so accelerator
     entries can never collide with the cross-system entries of
     :mod:`repro.systems` — the same invariant every
-    :meth:`~repro.systems.base.ExecutionPlan.fingerprint` upholds.
+    :meth:`~repro.systems.base.ExecutionPlan.fingerprint` upholds.  The
+    ``ir`` stanza is the benchmark's layer-IR content digest
+    (:func:`repro.models.registry.benchmark_ir_digest`): a re-sized
+    model, a re-generated dataset, or an IR-schema revision each change
+    the digest and invalidate stale entries.
     """
+    from repro.models.registry import benchmark_ir_digest
+
     return {
         "schema": SCHEMA_VERSION,
         "system": ACCEL_SYSTEM,
         "benchmark": benchmark_key,
+        "ir": benchmark_ir_digest(benchmark_key),
         "config": config_fingerprint(config),
     }
 

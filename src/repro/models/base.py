@@ -7,6 +7,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.graphs.graph import Graph, GraphSet
+from repro.models.ir import ModelIR
 from repro.models.workload import ModelWorkload
 
 
@@ -14,9 +15,11 @@ class GNNModel(ABC):
     """A GNN inference model.
 
     Subclasses implement a numerically correct numpy ``forward`` pass and
-    an analytical ``workload`` extraction.  Models are constructed for a
-    particular input feature width (matching the dataset they run on) with
-    deterministic, seeded weights.
+    a ``layer_ir`` emission — the typed per-layer op stream every
+    execution view (analytical workload, generic accelerator lowering,
+    dense-array mapping) derives from.  Models are constructed for a
+    particular input feature width (matching the dataset they run on)
+    with deterministic, seeded weights.
     """
 
     #: Model family name used in result tables ("GCN", "GAT", ...).
@@ -27,8 +30,12 @@ class GNNModel(ABC):
         """Run one inference pass and return the output features."""
 
     @abstractmethod
+    def layer_ir(self, graph: Graph | GraphSet) -> ModelIR:
+        """Describe one inference pass as a per-layer op stream."""
+
     def workload(self, graph: Graph | GraphSet) -> ModelWorkload:
-        """Describe the operations one inference pass performs."""
+        """Analytical operation list, derived from the layer IR."""
+        return self.layer_ir(graph).workload()
 
     @staticmethod
     def _graph_name(graph: Graph | GraphSet) -> str:

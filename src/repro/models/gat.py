@@ -17,13 +17,20 @@ import numpy as np
 from repro.graphs.graph import Graph
 from repro.models.activations import elu, leaky_relu, softmax
 from repro.models.base import GNNModel
+from repro.models.ir import (
+    DenseTransform,
+    EdgeAggregate,
+    LayerSpec,
+    ModelIR,
+    Pointwise,
+)
 from repro.models.workload import (
     DenseMatmul,
     EdgeAggregation,
     Elementwise,
-    ModelWorkload,
     Traversal,
 )
+from repro.models.workload import BYTES_PER_VALUE
 
 
 def _edge_endpoints(graph: Graph) -> tuple[np.ndarray, np.ndarray]:
@@ -90,51 +97,100 @@ class GATLayer:
             return softmax(stacked, axis=1)
         return stacked
 
-    def workload_ops(self, graph: Graph):
-        """Analytical op list for this layer."""
+    def layer_specs(self, graph: Graph, index: int) -> list[LayerSpec]:
+        """Per-layer op-stream specs (projection, gathers, activations)."""
         n = graph.num_nodes
         edges = graph.nnz + n  # directed edges plus self loops
         width = self.num_heads * self.out_features
-        ops = [
-            DenseMatmul(
-                m=n, k=self.in_features, n=width, label="gat.project"
+        specs: list[LayerSpec] = [
+            DenseTransform(
+                name=f"gat{index}.project",
+                f_in=self.in_features,
+                f_out=width,
+                # Projection plus the two per-head attention dot products.
+                macs_per_item=self.in_features * width + width * 2,
+                # h' plus the per-head source/destination scores.
+                out_values=width + 2 * self.num_heads,
+                ops=(
+                    DenseMatmul(
+                        m=n, k=self.in_features, n=width, label="gat.project"
+                    ),
+                    # Two attention dot products per head per vertex.
+                    DenseMatmul(m=n, k=width, n=2, label="gat.attn_scores"),
+                ),
             ),
-            # Two attention dot products per head per vertex.
-            DenseMatmul(m=n, k=width, n=2, label="gat.attn_scores"),
             # Per-edge score combine + LeakyReLU, per head.
-            Elementwise(
-                size=edges * self.num_heads,
-                flops_per_element=2.0,
-                label="gat.edge_scores",
-            ),
-            EdgeAggregation(
-                num_inputs=edges,
-                num_outputs=n,
-                width=width,
-                op="sum",
-                weighted=True,
-                label="gat.aggregate",
-            ),
-            Traversal(
-                num_vertices=n,
-                num_visits=graph.nnz,
-                hops=1,
-                state_bytes=0,
-                label="gat.traverse",
-            ),
-            Elementwise(
-                size=n * width, flops_per_element=2.0, label="gat.activation"
+            Pointwise(
+                name=f"gat{index}.edge_scores",
+                ops=(
+                    Elementwise(
+                        size=edges * self.num_heads,
+                        flops_per_element=2.0,
+                        label="gat.edge_scores",
+                    ),
+                ),
             ),
         ]
         if self.normalize:
-            ops.append(
+            # The attention softmax the paper's evaluation removed: the
+            # denominators need one extra gather/reduce pass per layer —
+            # each vertex collects its neighbourhood's exponentiated
+            # scores (one value per head) and the AGG sums them.
+            specs.append(
+                EdgeAggregate(
+                    name=f"gat{index}.attn_normalize",
+                    width=self.num_heads,
+                    num_inputs=edges,
+                    num_outputs=n,
+                    include_self=True,
+                )
+            )
+        # Weighted neighbourhood aggregation; each gathered record carries
+        # the projected vector plus its attention score.
+        specs.append(
+            EdgeAggregate(
+                name=f"gat{index}.aggregate",
+                width=width,
+                num_inputs=edges,
+                num_outputs=n,
+                include_self=True,
+                extra_gather_bytes=self.num_heads * BYTES_PER_VALUE,
+                ops=(
+                    EdgeAggregation(
+                        num_inputs=edges,
+                        num_outputs=n,
+                        width=width,
+                        op="sum",
+                        weighted=True,
+                        label="gat.aggregate",
+                    ),
+                    Traversal(
+                        num_vertices=n,
+                        num_visits=graph.nnz,
+                        hops=1,
+                        state_bytes=0,
+                        label="gat.traverse",
+                    ),
+                ),
+            )
+        )
+        activation_ops = [
+            Elementwise(
+                size=n * width, flops_per_element=2.0, label="gat.activation"
+            )
+        ]
+        if self.normalize:
+            activation_ops.append(
                 Elementwise(
                     size=edges * self.num_heads,
                     flops_per_element=3.0,
                     label="gat.attn_softmax",
                 )
             )
-        return ops
+        specs.append(
+            Pointwise(name=f"gat{index}.activation", ops=tuple(activation_ops))
+        )
+        return specs
 
 
 def _segment_softmax(
@@ -200,9 +256,13 @@ class GAT(GNNModel):
             x = layer.forward(graph, x)
         return x
 
-    def workload(self, graph: Graph) -> ModelWorkload:
-        """Operation list across both attention layers."""
-        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
-        for layer in self.layers:
-            work.extend(layer.workload_ops(graph))
-        return work
+    def layer_ir(self, graph: Graph) -> ModelIR:
+        """Op-stream specs across both attention layers."""
+        specs: list[LayerSpec] = []
+        for i, layer in enumerate(self.layers):
+            specs.extend(layer.layer_specs(graph, i))
+        return ModelIR(
+            model=self.name,
+            graph=self._graph_name(graph),
+            specs=tuple(specs),
+        )

@@ -17,11 +17,17 @@ import numpy as np
 from repro.graphs.graph import Graph
 from repro.models.activations import relu, softmax
 from repro.models.base import GNNModel
+from repro.models.ir import (
+    DenseTransform,
+    EdgeAggregate,
+    LayerSpec,
+    ModelIR,
+    Pointwise,
+)
 from repro.models.workload import (
     DenseMatmul,
     EdgeAggregation,
     Elementwise,
-    ModelWorkload,
     Traversal,
 )
 
@@ -79,8 +85,8 @@ class GCN(GNNModel):
         logits = a_hat @ (h @ self.w1)
         return softmax(logits, axis=1)
 
-    def workload(self, graph: Graph) -> ModelWorkload:
-        """Operation list: project-then-propagate per layer.
+    def layer_ir(self, graph: Graph) -> ModelIR:
+        """Project-then-propagate per layer.
 
         The projection is done before propagation (the cheaper order when
         the hidden width is smaller than the input width, which every
@@ -90,36 +96,62 @@ class GCN(GNNModel):
         # Propagation operates on A + I: every directed edge plus the
         # self-loop contributes one weighted input per vertex.
         agg_inputs = graph.nnz + n
-        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
+        specs: list[LayerSpec] = []
         for i, (f_in, f_out) in enumerate(self.layer_dims):
-            work.add(
-                DenseMatmul(m=n, k=f_in, n=f_out, label=f"layer{i}.project")
-            )
-            work.add(
-                EdgeAggregation(
-                    num_inputs=agg_inputs,
-                    num_outputs=n,
-                    width=f_out,
-                    op="sum",
-                    weighted=True,
-                    label=f"layer{i}.propagate",
+            specs.append(
+                DenseTransform(
+                    name=f"gcn{i}.project",
+                    f_in=f_in,
+                    f_out=f_out,
+                    macs_per_item=f_in * f_out,
+                    ops=(
+                        DenseMatmul(
+                            m=n, k=f_in, n=f_out, label=f"layer{i}.project"
+                        ),
+                    ),
                 )
             )
-            work.add(
-                Traversal(
-                    num_vertices=n,
-                    num_visits=graph.nnz,
-                    hops=1,
-                    state_bytes=0,
-                    label=f"layer{i}.traverse",
+            specs.append(
+                EdgeAggregate(
+                    name=f"gcn{i}.propagate",
+                    width=f_out,
+                    num_inputs=agg_inputs,
+                    num_outputs=n,
+                    include_self=True,
+                    ops=(
+                        EdgeAggregation(
+                            num_inputs=agg_inputs,
+                            num_outputs=n,
+                            width=f_out,
+                            op="sum",
+                            weighted=True,
+                            label=f"layer{i}.propagate",
+                        ),
+                        Traversal(
+                            num_vertices=n,
+                            num_visits=graph.nnz,
+                            hops=1,
+                            state_bytes=0,
+                            label=f"layer{i}.traverse",
+                        ),
+                    ),
                 )
             )
             activation_flops = 1.0 if i == 0 else 3.0  # ReLU vs softmax
-            work.add(
-                Elementwise(
-                    size=n * f_out,
-                    flops_per_element=activation_flops,
-                    label=f"layer{i}.activation",
+            specs.append(
+                Pointwise(
+                    name=f"gcn{i}.activation",
+                    ops=(
+                        Elementwise(
+                            size=n * f_out,
+                            flops_per_element=activation_flops,
+                            label=f"layer{i}.activation",
+                        ),
+                    ),
                 )
             )
-        return work
+        return ModelIR(
+            model=self.name,
+            graph=self._graph_name(graph),
+            specs=tuple(specs),
+        )

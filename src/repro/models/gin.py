@@ -1,0 +1,173 @@
+"""Graph Isomorphism Network (Xu et al., 2018) — extension beyond the paper.
+
+The maximally expressive sum-aggregation GNN the gSuite benchmark set
+leads with.  Each layer aggregates the full neighbourhood plus an
+``(1 + eps)``-scaled self contribution, then applies a two-layer MLP::
+
+    h'_v = MLP( (1 + eps) * h_v + sum_{u in N(v)} h_u )
+
+Structurally it is GCN-like (unweighted sum aggregation, dense
+per-vertex compute), but the MLP doubles the dense work per layer and
+the aggregation runs at the *input* width — a different balance point
+between the DNA and AGG units.
+
+The model exists to prove the layer-IR contract: it is described once
+here (specs + registry row) and every execution view — analytical
+rooflines, the generic accelerator lowering, and the dense spatial-array
+mapper — consumes it with zero backend edits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.models.activations import relu, softmax
+from repro.models.base import GNNModel
+from repro.models.ir import (
+    DenseTransform,
+    EdgeAggregate,
+    LayerSpec,
+    ModelIR,
+    Pointwise,
+)
+from repro.models.workload import (
+    DenseMatmul,
+    EdgeAggregation,
+    Elementwise,
+    Traversal,
+)
+
+
+class GIN(GNNModel):
+    """Two-layer GIN with sum aggregation and per-layer two-layer MLPs.
+
+    Parameters
+    ----------
+    in_features:
+        Width of the input vertex features (dataset-dependent).
+    hidden_features:
+        Width of the MLP hidden layers and the intermediate embedding.
+    out_features:
+        Number of output classes.
+    eps:
+        Self-contribution scale; the reference fixed-eps variant.
+    seed:
+        Weight initialization seed.
+    """
+
+    name = "GIN"
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden_features: int = 16,
+        out_features: int = 7,
+        eps: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        if min(in_features, hidden_features, out_features) < 1:
+            raise ValueError("feature widths must be positive")
+        self.in_features = in_features
+        self.hidden_features = hidden_features
+        self.out_features = out_features
+        self.eps = float(eps)
+        rng = np.random.default_rng(seed)
+        self.mlps = [
+            (
+                self._init_weight(rng, f_in, hidden_features),
+                self._init_weight(rng, hidden_features, f_out),
+            )
+            for f_in, f_out in self.layer_dims
+        ]
+
+    @property
+    def layer_dims(self) -> list[tuple[int, int]]:
+        """(in, out) width of each GIN layer (MLP hidden width aside)."""
+        return [
+            (self.in_features, self.hidden_features),
+            (self.hidden_features, self.out_features),
+        ]
+
+    def forward(self, graph: Graph) -> np.ndarray:
+        """Class probabilities, shape ``(num_nodes, out_features)``."""
+        if graph.num_node_features != self.in_features:
+            raise ValueError(
+                f"graph has {graph.num_node_features} features, model "
+                f"expects {self.in_features}"
+            )
+        adjacency = graph.adjacency()
+        h = graph.node_features
+        for i, (w_hidden, w_out) in enumerate(self.mlps):
+            aggregated = adjacency @ h + (1.0 + self.eps) * h
+            z = relu(aggregated @ w_hidden) @ w_out
+            h = relu(z) if i == 0 else softmax(z, axis=1)
+        return h
+
+    def layer_ir(self, graph: Graph) -> ModelIR:
+        """Aggregate-then-MLP per layer, at the layer's input width."""
+        n = graph.num_nodes
+        # Sum aggregation over A plus the scaled self loop: every directed
+        # edge plus one self contribution per vertex.
+        agg_inputs = graph.nnz + n
+        hidden = self.hidden_features
+        specs: list[LayerSpec] = []
+        for i, (f_in, f_out) in enumerate(self.layer_dims):
+            specs.append(
+                EdgeAggregate(
+                    name=f"gin{i}.aggregate",
+                    width=f_in,
+                    num_inputs=agg_inputs,
+                    num_outputs=n,
+                    include_self=True,
+                    ops=(
+                        EdgeAggregation(
+                            num_inputs=agg_inputs,
+                            num_outputs=n,
+                            width=f_in,
+                            op="sum",
+                            label=f"gin{i}.aggregate",
+                        ),
+                        Traversal(
+                            num_vertices=n,
+                            num_visits=graph.nnz,
+                            hops=1,
+                            state_bytes=0,
+                            label=f"gin{i}.traverse",
+                        ),
+                    ),
+                )
+            )
+            specs.append(
+                DenseTransform(
+                    name=f"gin{i}.mlp",
+                    f_in=f_in,
+                    f_out=f_out,
+                    macs_per_item=f_in * hidden + hidden * f_out,
+                    ops=(
+                        DenseMatmul(
+                            m=n, k=f_in, n=hidden, label=f"gin{i}.mlp1"
+                        ),
+                        DenseMatmul(
+                            m=n, k=hidden, n=f_out, label=f"gin{i}.mlp2"
+                        ),
+                    ),
+                )
+            )
+            specs.append(
+                Pointwise(
+                    name=f"gin{i}.activation",
+                    ops=(
+                        Elementwise(
+                            size=n * f_out,
+                            flops_per_element=1.0 if i == 0 else 3.0,
+                            label=f"gin{i}.activation",
+                        ),
+                    ),
+                )
+            )
+        return ModelIR(
+            model=self.name,
+            graph=self._graph_name(graph),
+            specs=tuple(specs),
+        )

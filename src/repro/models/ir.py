@@ -1,0 +1,214 @@
+"""Per-layer op-stream intermediate representation (IR).
+
+Every benchmark model describes one inference pass as a :class:`ModelIR`:
+a typed stream of :class:`LayerSpec` phases, each tagged with the paper
+Section III hardware units it occupies (``DNA``/``AGG``/``GPE``/``DNQ``),
+its per-layer feature widths, fan-out/sample bounds, and whether it
+iterates the vertex, edge, or graph space of a (possibly batched) input.
+
+The IR is the single source both execution views derive from:
+
+* the analytical :class:`~repro.models.workload.ModelWorkload` the
+  CPU/GPU rooflines price — every spec carries its ``ops`` slice, and
+  :meth:`ModelIR.workload` is just their concatenation, and
+* the cycle-accurate :class:`~repro.runtime.program.AcceleratorProgram`,
+  produced by the one generic :func:`repro.runtime.compiler.lower` pass
+  (which replaced the five hand-written per-model compilers).
+
+Specs are emitted for a *concrete* input graph: counts such as
+``num_inputs`` are already summed over a :class:`~repro.graphs.graph.GraphSet`
+batch.  The stream is pure data — :meth:`ModelIR.digest` hashes its
+canonical JSON form, and that digest is baked into every cross-system
+cache fingerprint so cached results never alias across IR revisions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import ClassVar, Union
+
+from repro.models.workload import ModelWorkload, WorkloadOp
+
+#: Hardware units (paper Section III) a phase occupies.
+DNA = "DNA"  # dense neural array: the systolic MAC grid
+AGG = "AGG"  # aggregation buffer and reducer
+GPE = "GPE"  # graph processing engine: control + pointer chasing
+DNQ = "DNQ"  # dense queue feeding the DNA
+
+
+@dataclass(frozen=True)
+class MacShape:
+    """Batched matmul shape ``(m, k, n)`` used for the DNA efficiency.
+
+    ``n=None`` stands for "the array's column count" (resolved at lower
+    time); ``clamp_n_to_cols`` caps an explicit ``n`` at that count.
+    Used when the natural per-item shape of a :class:`DenseTransform`
+    is not how the compiler batches it onto the array (e.g. the MPNN
+    edge network flattens edge outputs across columns).
+    """
+
+    m: int
+    k: int
+    n: int | None = None
+    clamp_n_to_cols: bool = False
+
+
+@dataclass(frozen=True)
+class DenseTransform:
+    """A batched dense layer: ``f_in`` values in, ``f_out`` out per item.
+
+    Lowers to a DNQ -> DNA vertex-task layer with one task per item of
+    ``space`` ("vertex" or "edge"); prices as the attached
+    :class:`~repro.models.workload.DenseMatmul` ops.  ``out_values``
+    overrides the written-back value count (e.g. GAT's per-head scores
+    ride along with the projected features); ``agg_width`` overrides the
+    AGG entry width; ``mac_shape`` overrides the efficiency shape.
+    """
+
+    name: str
+    f_in: int
+    f_out: int
+    macs_per_item: int
+    space: str = "vertex"
+    out_values: int | None = None
+    agg_width: int | None = None
+    mac_shape: MacShape | None = None
+    ops: tuple[WorkloadOp, ...] = ()
+
+    kind: ClassVar[str] = "dense"
+    units: ClassVar[tuple[str, ...]] = (DNQ, DNA)
+
+
+@dataclass(frozen=True)
+class EdgeAggregate:
+    """A neighbourhood gather/reduce of ``width``-wide vectors.
+
+    Lowers to one AGG gather task per vertex whose fan-in is the vertex
+    degree, optionally capped by ``sample_bound`` (GraphSAGE) and
+    extended by a self contribution (``include_self``); every gathered
+    record carries ``width`` values plus ``extra_gather_bytes`` (GAT's
+    attention scores).  ``num_inputs``/``num_outputs`` summarize the
+    whole (batched) gather for the analytical and dense-mapper views.
+    """
+
+    name: str
+    width: int
+    num_inputs: int
+    num_outputs: int
+    include_self: bool = True
+    sample_bound: int | None = None
+    extra_gather_bytes: int = 0
+    ops: tuple[WorkloadOp, ...] = ()
+
+    kind: ClassVar[str] = "aggregate"
+    units: ClassVar[tuple[str, ...]] = (GPE, AGG)
+
+
+@dataclass(frozen=True)
+class TraversalAggregate:
+    """A dependent multi-hop expansion combined on the GPE (PGNN's A^2).
+
+    ``hop_bytes[k]`` is the payload of each hop-``k+1`` visit (``None``
+    means ``width`` values); hop counts come from the graph at lower
+    time (hop 1 = degree, hop k = neighbours' hop k-1 counts).  This is
+    the one phase kind with no dense-matrix equivalent, so systems that
+    only map dense-expressible ops must reject it.
+    """
+
+    name: str
+    width: int
+    num_inputs: int
+    num_outputs: int
+    hop_bytes: tuple[int | None, ...] = (64, None)
+    ops: tuple[WorkloadOp, ...] = ()
+
+    kind: ClassVar[str] = "traversal"
+    units: ClassVar[tuple[str, ...]] = (GPE, AGG)
+
+
+@dataclass(frozen=True)
+class GraphReduce:
+    """A per-graph reduction over all its vertices (MPNN's readout sum)."""
+
+    name: str
+    width: int
+    num_inputs: int
+    num_outputs: int
+    ops: tuple[WorkloadOp, ...] = ()
+
+    kind: ClassVar[str] = "reduce"
+    units: ClassVar[tuple[str, ...]] = (GPE, AGG)
+
+
+@dataclass(frozen=True)
+class Pointwise:
+    """A streaming elementwise phase (activations, gate math).
+
+    Pure pricing: it contributes its ``ops`` to the analytical workload
+    but lowers to no program layer — the engine folds elementwise math
+    into the producing layer's writeback.
+    """
+
+    name: str
+    ops: tuple[WorkloadOp, ...] = ()
+
+    kind: ClassVar[str] = "pointwise"
+    units: ClassVar[tuple[str, ...]] = (GPE,)
+
+
+LayerSpec = Union[
+    DenseTransform, EdgeAggregate, TraversalAggregate, GraphReduce, Pointwise
+]
+
+
+def _jsonable(value: object) -> object:
+    """Coerce numpy scalars so spec documents always serialize."""
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"cannot canonicalize {type(value).__name__}")
+
+
+def spec_document(spec: LayerSpec) -> dict:
+    """One spec as plain data (typed ops, kind and unit tags included)."""
+    doc = asdict(spec)
+    doc["ops"] = [
+        {"type": type(op).__name__, **asdict(op)} for op in spec.ops
+    ]
+    return {"kind": spec.kind, "units": list(spec.units), **doc}
+
+
+@dataclass(frozen=True)
+class ModelIR:
+    """One model's inference pass over one concrete input graph."""
+
+    model: str
+    graph: str
+    specs: tuple[LayerSpec, ...]
+
+    def workload(self) -> ModelWorkload:
+        """The analytical workload: the concatenated per-spec op streams."""
+        work = ModelWorkload(model=self.model, graph=self.graph)
+        for spec in self.specs:
+            work.extend(list(spec.ops))
+        return work
+
+    def fingerprint(self) -> dict:
+        """Canonical plain-data form of the whole stream."""
+        return {
+            "model": self.model,
+            "graph": self.graph,
+            "specs": [spec_document(spec) for spec in self.specs],
+        }
+
+    def digest(self) -> str:
+        """Content hash of the IR, stable across processes."""
+        payload = json.dumps(
+            self.fingerprint(),
+            sort_keys=True,
+            separators=(",", ":"),
+            default=_jsonable,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()

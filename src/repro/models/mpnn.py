@@ -22,11 +22,18 @@ import numpy as np
 from repro.graphs.graph import Graph, GraphSet
 from repro.models.activations import sigmoid, tanh
 from repro.models.base import GNNModel
+from repro.models.ir import (
+    DenseTransform,
+    EdgeAggregate,
+    GraphReduce,
+    LayerSpec,
+    MacShape,
+    ModelIR,
+)
 from repro.models.workload import (
     DenseMatmul,
     EdgeAggregation,
     Elementwise,
-    ModelWorkload,
     Traversal,
 )
 
@@ -117,110 +124,199 @@ class MPNN(GNNModel):
         outputs = [self._forward_one(g) for g in graphs]
         return np.stack(outputs, axis=0)
 
-    # -- workload ----------------------------------------------------------
+    # -- layer IR ----------------------------------------------------------
 
-    def workload(self, graph: Graph | GraphSet) -> ModelWorkload:
-        """Operation list aggregated over the whole graph set."""
+    def layer_ir(self, graph: Graph | GraphSet) -> ModelIR:
+        """Op-stream specs aggregated over the whole graph set.
+
+        Analytical ops fold repeated phases into ``count`` fields (the
+        T per-step specs share one op stream, attached to the first
+        step's specs), matching the pricing the rooflines always used.
+        """
         graphs = graph.graphs if isinstance(graph, GraphSet) else [graph]
         total_nodes = sum(g.num_nodes for g in graphs)
         directed_edges = sum(g.nnz for g in graphs)
         num_graphs = len(graphs)
         d = self.hidden
-        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
-        work.add(
-            DenseMatmul(
-                m=total_nodes, k=self.node_features, n=d, label="mpnn.embed"
+        specs: list[LayerSpec] = []
+
+        # 1. Input embedding of every atom.
+        specs.append(
+            DenseTransform(
+                name="mpnn.embed",
+                f_in=self.node_features,
+                f_out=d,
+                macs_per_item=self.node_features * d,
+                ops=(
+                    DenseMatmul(
+                        m=total_nodes,
+                        k=self.node_features,
+                        n=d,
+                        label="mpnn.embed",
+                    ),
+                ),
             )
         )
-        # Edge network, evaluated once per directed edge.
-        work.add(
-            DenseMatmul(
-                m=directed_edges,
-                k=self.edge_features,
-                n=self.edge_mlp_hidden,
-                label="mpnn.edge_mlp1",
+
+        # 2. Edge network: one d x d message matrix per directed edge,
+        # evaluated once (edge features are static).  The mapper batches
+        # the matrix outputs across the array columns.
+        specs.append(
+            DenseTransform(
+                name="mpnn.edge_network",
+                space="edge",
+                f_in=self.edge_features,
+                f_out=d * d,
+                macs_per_item=(
+                    self.edge_features * self.edge_mlp_hidden
+                    + self.edge_mlp_hidden * d * d
+                ),
+                agg_width=d,
+                mac_shape=MacShape(
+                    m=d * d,
+                    k=self.edge_mlp_hidden,
+                    n=directed_edges,
+                    clamp_n_to_cols=True,
+                ),
+                ops=(
+                    DenseMatmul(
+                        m=directed_edges,
+                        k=self.edge_features,
+                        n=self.edge_mlp_hidden,
+                        label="mpnn.edge_mlp1",
+                    ),
+                    DenseMatmul(
+                        m=directed_edges,
+                        k=self.edge_mlp_hidden,
+                        n=d * d,
+                        label="mpnn.edge_mlp2",
+                    ),
+                ),
             )
         )
-        work.add(
-            DenseMatmul(
-                m=directed_edges,
-                k=self.edge_mlp_hidden,
-                n=d * d,
-                label="mpnn.edge_mlp2",
+
+        # 3. T message-passing steps: message / aggregate / GRU update.
+        for step in range(self.steps):
+            first = step == 0
+            # A per-edge matvec with a *per-edge* matrix (the matrix is
+            # data, not a resident weight, so it is re-read each step).
+            message_ops = (
+                DenseMatmul(
+                    m=1,
+                    k=d,
+                    n=d,
+                    count=directed_edges * self.steps,
+                    weight_resident=False,
+                    label="mpnn.messages",
+                ),
+            ) if first else ()
+            specs.append(
+                DenseTransform(
+                    name=f"mpnn.messages[{step}]",
+                    space="edge",
+                    f_in=d * d + d,
+                    f_out=d,
+                    macs_per_item=d * d,
+                    mac_shape=MacShape(m=d, k=d),
+                    ops=message_ops,
+                )
+            )
+            aggregate_ops = (
+                EdgeAggregation(
+                    num_inputs=directed_edges,
+                    num_outputs=total_nodes,
+                    width=d,
+                    op="sum",
+                    count=self.steps,
+                    label="mpnn.aggregate",
+                ),
+            ) if first else ()
+            specs.append(
+                EdgeAggregate(
+                    name=f"mpnn.aggregate[{step}]",
+                    width=d,
+                    num_inputs=directed_edges,
+                    num_outputs=total_nodes,
+                    include_self=False,
+                    ops=aggregate_ops,
+                )
+            )
+            # GRU: input and hidden projections to the three gates; the
+            # gate projections dominate its array mapping.
+            update_ops = (
+                DenseMatmul(
+                    m=total_nodes, k=d, n=3 * d, count=self.steps,
+                    label="mpnn.gru_input",
+                ),
+                DenseMatmul(
+                    m=total_nodes, k=d, n=3 * d, count=self.steps,
+                    label="mpnn.gru_hidden",
+                ),
+                Elementwise(
+                    size=total_nodes * d,
+                    flops_per_element=10.0,
+                    count=self.steps,
+                    label="mpnn.gru_pointwise",
+                ),
+            ) if first else ()
+            specs.append(
+                DenseTransform(
+                    name=f"mpnn.update[{step}]",
+                    f_in=2 * d,
+                    f_out=d,
+                    macs_per_item=2 * d * 3 * d,
+                    mac_shape=MacShape(m=total_nodes, k=d, n=3 * d),
+                    ops=update_ops,
+                )
+            )
+
+        # 4. Gated readout: per-node gate+projection, then per-graph sum.
+        specs.append(
+            DenseTransform(
+                name="mpnn.readout_node",
+                f_in=2 * d,
+                f_out=self.out_features,
+                macs_per_item=2 * d * self.out_features
+                + d * self.out_features,
+                ops=(
+                    DenseMatmul(
+                        m=total_nodes, k=2 * d, n=self.out_features,
+                        label="mpnn.readout_gate",
+                    ),
+                    DenseMatmul(
+                        m=total_nodes, k=d, n=self.out_features,
+                        label="mpnn.readout",
+                    ),
+                ),
             )
         )
-        # Message passing: a per-edge matvec with a *per-edge* matrix (the
-        # matrix is data, not a resident weight, so it is re-read each step).
-        work.add(
-            DenseMatmul(
-                m=1,
-                k=d,
-                n=d,
-                count=directed_edges * self.steps,
-                weight_resident=False,
-                label="mpnn.messages",
-            )
-        )
-        work.add(
-            EdgeAggregation(
-                num_inputs=directed_edges,
-                num_outputs=total_nodes,
-                width=d,
-                op="sum",
-                count=self.steps,
-                label="mpnn.aggregate",
-            )
-        )
-        # GRU: input and hidden projections to the three gates, per step.
-        work.add(
-            DenseMatmul(
-                m=total_nodes, k=d, n=3 * d, count=self.steps,
-                label="mpnn.gru_input",
-            )
-        )
-        work.add(
-            DenseMatmul(
-                m=total_nodes, k=d, n=3 * d, count=self.steps,
-                label="mpnn.gru_hidden",
-            )
-        )
-        work.add(
-            Elementwise(
-                size=total_nodes * d,
-                flops_per_element=10.0,
-                count=self.steps,
-                label="mpnn.gru_pointwise",
-            )
-        )
-        # Gated readout.
-        work.add(
-            DenseMatmul(
-                m=total_nodes, k=2 * d, n=self.out_features,
-                label="mpnn.readout_gate",
-            )
-        )
-        work.add(
-            DenseMatmul(
-                m=total_nodes, k=d, n=self.out_features, label="mpnn.readout"
-            )
-        )
-        work.add(
-            EdgeAggregation(
+        specs.append(
+            GraphReduce(
+                name="mpnn.readout_sum",
+                width=self.out_features,
                 num_inputs=total_nodes,
                 num_outputs=num_graphs,
-                width=self.out_features,
-                op="sum",
-                label="mpnn.readout_sum",
+                ops=(
+                    EdgeAggregation(
+                        num_inputs=total_nodes,
+                        num_outputs=num_graphs,
+                        width=self.out_features,
+                        op="sum",
+                        label="mpnn.readout_sum",
+                    ),
+                    Traversal(
+                        num_vertices=total_nodes,
+                        num_visits=directed_edges,
+                        hops=1,
+                        state_bytes=d * 4,
+                        count=self.steps,
+                        label="mpnn.traverse",
+                    ),
+                ),
             )
         )
-        work.add(
-            Traversal(
-                num_vertices=total_nodes,
-                num_visits=directed_edges,
-                hops=1,
-                state_bytes=d * 4,
-                count=self.steps,
-                label="mpnn.traverse",
-            )
+        return ModelIR(
+            model=self.name,
+            graph=self._graph_name(graph),
+            specs=tuple(specs),
         )
-        return work

@@ -22,11 +22,17 @@ import numpy as np
 from repro.graphs.graph import Graph
 from repro.models.activations import relu, softmax
 from repro.models.base import GNNModel
+from repro.models.ir import (
+    DenseTransform,
+    LayerSpec,
+    ModelIR,
+    Pointwise,
+    TraversalAggregate,
+)
 from repro.models.workload import (
     DenseMatmul,
     EdgeAggregation,
     Elementwise,
-    ModelWorkload,
     Traversal,
 )
 
@@ -122,55 +128,80 @@ class PGNN(GNNModel):
         degrees = graph.degrees().astype(np.int64)
         return int(np.sum(degrees * degrees))
 
-    def workload(self, graph: Graph) -> ModelWorkload:
-        """Operation list across all layers and operators."""
+    def layer_ir(self, graph: Graph) -> ModelIR:
+        """Op-stream specs across all layers and operators."""
         n = graph.num_nodes
         nnz = graph.nnz
-        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
+        specs: list[LayerSpec] = []
         for i, (f_in, f_out) in enumerate(self.layer_dims):
-            # One small projection per operator in the family.
-            work.add(
-                DenseMatmul(
-                    m=n, k=f_in, n=f_out, count=len(_OPERATORS),
-                    label=f"pgnn{i}.project",
+            # Project once per operator family member (I, D, A, A^2).
+            specs.append(
+                DenseTransform(
+                    name=f"pgnn{i}.project",
+                    f_in=f_in,
+                    f_out=f_out,
+                    macs_per_item=len(_OPERATORS) * f_in * f_out,
+                    out_values=len(_OPERATORS) * f_out,
+                    ops=(
+                        DenseMatmul(
+                            m=n, k=f_in, n=f_out, count=len(_OPERATORS),
+                            label=f"pgnn{i}.project",
+                        ),
+                    ),
                 )
             )
             # Degree scaling of the D-branch.
-            work.add(
-                Elementwise(
-                    size=n * f_out, flops_per_element=1.0,
-                    label=f"pgnn{i}.degree_scale",
+            specs.append(
+                Pointwise(
+                    name=f"pgnn{i}.degree_scale",
+                    ops=(
+                        Elementwise(
+                            size=n * f_out, flops_per_element=1.0,
+                            label=f"pgnn{i}.degree_scale",
+                        ),
+                    ),
                 )
             )
-            # A-branch: one propagation; A^2-branch: two.
-            work.add(
-                EdgeAggregation(
-                    num_inputs=nnz, num_outputs=n, width=f_out,
-                    count=3, label=f"pgnn{i}.propagate",
+            # Combine: the A branch is a 1-hop gather; the A^2 branch is
+            # the dependent 2-hop expansion sequenced step by step on the
+            # GPE — the one phase with no dense-matrix equivalent.
+            specs.append(
+                TraversalAggregate(
+                    name=f"pgnn{i}.combine",
+                    width=f_out,
+                    num_inputs=nnz,
+                    num_outputs=n,
+                    hop_bytes=(64, None),
+                    ops=(
+                        # A-branch: one propagation; A^2-branch: two.
+                        EdgeAggregation(
+                            num_inputs=nnz, num_outputs=n, width=f_out,
+                            count=3, label=f"pgnn{i}.propagate",
+                        ),
+                        # Combine the four branches plus activation.
+                        Elementwise(
+                            size=n * f_out, flops_per_element=4.0,
+                            label=f"pgnn{i}.combine",
+                        ),
+                        # 1-hop traversal for the A branch, dependent
+                        # 2-hop expansion for the A^2 branch.
+                        Traversal(
+                            num_vertices=n, num_visits=nnz, hops=1,
+                            state_bytes=f_out * 4,
+                            label=f"pgnn{i}.traverse1",
+                        ),
+                        Traversal(
+                            num_vertices=n,
+                            num_visits=self.two_hop_visits(graph),
+                            hops=2,
+                            state_bytes=f_out * 4,
+                            label=f"pgnn{i}.traverse2",
+                        ),
+                    ),
                 )
             )
-            # Combine the four branches plus activation.
-            work.add(
-                Elementwise(
-                    size=n * f_out, flops_per_element=4.0,
-                    label=f"pgnn{i}.combine",
-                )
-            )
-            # 1-hop traversal for the A branch, dependent 2-hop expansion
-            # for the A^2 branch.
-            work.add(
-                Traversal(
-                    num_vertices=n, num_visits=nnz, hops=1,
-                    state_bytes=f_out * 4, label=f"pgnn{i}.traverse1",
-                )
-            )
-            work.add(
-                Traversal(
-                    num_vertices=n,
-                    num_visits=self.two_hop_visits(graph),
-                    hops=2,
-                    state_bytes=f_out * 4,
-                    label=f"pgnn{i}.traverse2",
-                )
-            )
-        return work
+        return ModelIR(
+            model=self.name,
+            graph=self._graph_name(graph),
+            specs=tuple(specs),
+        )

@@ -1,4 +1,4 @@
-"""The paper's benchmark suite (Table VII rows).
+"""The benchmark suite: the paper's Table VII rows plus extensions.
 
 Six (model, input graph) pairs are evaluated throughout the paper:
 
@@ -12,20 +12,34 @@ GAT    Cora        8 heads x 8, attention normalization off
 MPNN   QM9_1000    edge-network messages, GRU, T=3
 PGNN   DBLP_1      power-graph convolution, degree state
 ====== =========== =========================================
+
+:data:`EXTENSION_BENCHMARKS` adds the post-paper rows (GraphSAGE, GIN)
+the layer IR made one-description cheap.  Paper tables and goldens keep
+iterating :data:`BENCHMARKS`; name resolution, the CLI, and every
+execution system accept all rows.
+
+Adding a model family takes one model file under ``src/repro/models/``
+(emitting its :class:`~repro.models.ir.ModelIR`) plus one
+:func:`register_model_family` call and benchmark row here — no edits in
+``runtime/``, ``systems/``, or ``baselines/``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from functools import lru_cache
+from typing import Any, Callable
 
-from repro.graphs.datasets import DATASETS, load_dataset
+from repro.graphs.datasets import DATASETS, DatasetStats, load_dataset
 from repro.graphs.graph import Graph, GraphSet
 from repro.models.base import GNNModel
 from repro.models.gat import GAT
 from repro.models.gcn import GCN
+from repro.models.gin import GIN
+from repro.models.ir import ModelIR
 from repro.models.mpnn import MPNN
 from repro.models.pgnn import PGNN
+from repro.models.sage import GraphSAGE
 from repro.models.workload import ModelWorkload
 
 
@@ -55,8 +69,18 @@ BENCHMARKS: tuple[Benchmark, ...] = (
     Benchmark("PGNN", "dblp_1"),
 )
 
+#: Post-paper rows: the sampling-bounded and sum-MLP families.
+EXTENSION_BENCHMARKS: tuple[Benchmark, ...] = (
+    Benchmark("SAGE", "cora"),
+    Benchmark("SAGE", "pubmed"),
+    Benchmark("GIN", "citeseer"),
+)
+
+#: Every registered row, paper order first.
+ALL_BENCHMARKS: tuple[Benchmark, ...] = BENCHMARKS + EXTENSION_BENCHMARKS
+
 #: The same rows keyed by their stable identifier, for O(1) resolution.
-BENCHMARKS_BY_KEY: dict[str, Benchmark] = {b.key: b for b in BENCHMARKS}
+BENCHMARKS_BY_KEY: dict[str, Benchmark] = {b.key: b for b in ALL_BENCHMARKS}
 
 
 def benchmark_by_key(key: str) -> Benchmark:
@@ -67,29 +91,31 @@ def benchmark_by_key(key: str) -> Benchmark:
     except KeyError:
         raise KeyError(
             f"unknown benchmark {key!r}; available: "
-            f"{[b.key for b in BENCHMARKS]}"
+            f"{[b.key for b in ALL_BENCHMARKS]}"
         ) from None
 
 
 def resolve_benchmark_key(name: str) -> str:
-    """Canonicalize a benchmark name, accepting dataset shorthands.
+    """Canonicalize a benchmark name, accepting shorthands.
 
     Exact keys (``"gcn-cora"``) pass through.  A dataset name —
     ``"pubmed"``, ``"qm9_1000"``, or an underscore-prefix of one like
-    ``"qm9"`` / ``"dblp"`` — resolves to its unique benchmark's key.
-    Ambiguous shorthands (``"cora"`` names both the GCN and GAT rows)
-    and unknown names raise a :class:`KeyError` listing the candidates,
-    so every CLI path that validates through this function exits 2 with
-    a helpful message.  Callers must use the *returned* canonical key —
-    never the shorthand — for cache fingerprints.
+    ``"qm9"`` / ``"dblp"`` — or a model family name (``"gin"``) resolves
+    to its unique benchmark's key.  Ambiguous shorthands (``"cora"``
+    names the GCN, GAT, *and* SAGE rows) and unknown names raise a
+    :class:`KeyError` listing every colliding candidate, so every CLI
+    path that validates through this function exits 2 with a helpful
+    message.  Callers must use the *returned* canonical key — never the
+    shorthand — for cache fingerprints.
     """
     if name in BENCHMARKS_BY_KEY:
         return name
     lowered = name.lower()
     matches = [
-        b.key for b in BENCHMARKS
+        b.key for b in ALL_BENCHMARKS
         if b.dataset.lower() == lowered
         or b.dataset.lower().startswith(lowered + "_")
+        or b.model.lower() == lowered
     ]
     if len(matches) == 1:
         return matches[0]
@@ -99,69 +125,116 @@ def resolve_benchmark_key(name: str) -> str:
         )
     raise KeyError(
         f"unknown benchmark {name!r}; available: "
-        f"{[b.key for b in BENCHMARKS]}"
+        f"{[b.key for b in ALL_BENCHMARKS]}"
     )
 
 
-#: Model family -> constructor, used by :func:`benchmark_model`.
-_MODEL_CLASSES: dict[str, type[GNNModel]] = {
-    "GCN": GCN,
-    "GAT": GAT,
-    "MPNN": MPNN,
-    "PGNN": PGNN,
-}
+@dataclass(frozen=True)
+class ModelFamily:
+    """One registered model family: constructor plus per-dataset sizing."""
+
+    name: str
+    cls: type[GNNModel]
+    config: Callable[[DatasetStats], dict[str, Any]]
+
+
+#: Model family name -> registration, used by :func:`benchmark_model`.
+MODEL_FAMILIES: dict[str, ModelFamily] = {}
+
+
+def register_model_family(
+    name: str,
+    cls: type[GNNModel],
+    config: Callable[[DatasetStats], dict[str, Any]],
+) -> None:
+    """Register a model family (the one non-``models/`` touchpoint)."""
+    if name in MODEL_FAMILIES:
+        raise ValueError(f"model family {name!r} already registered")
+    MODEL_FAMILIES[name] = ModelFamily(name=name, cls=cls, config=config)
+
+
+register_model_family(
+    "GCN",
+    GCN,
+    lambda stats: {
+        "in_features": stats.vertex_features,
+        "hidden_features": 16,
+        "out_features": stats.output_features,
+    },
+)
+register_model_family(
+    "GAT",
+    GAT,
+    lambda stats: {
+        "in_features": stats.vertex_features,
+        "hidden_features": 8,
+        "out_features": stats.output_features,
+        "num_heads": 8,
+        "normalize": False,
+    },
+)
+register_model_family(
+    "MPNN",
+    MPNN,
+    lambda stats: {
+        "node_features": stats.vertex_features,
+        "edge_features": stats.edge_features,
+        "hidden": stats.output_features,
+        "out_features": stats.output_features,
+        "steps": 3,
+    },
+)
+register_model_family(
+    "PGNN",
+    PGNN,
+    lambda stats: {
+        "in_features": stats.vertex_features,
+        "hidden_features": 8,
+        "out_features": stats.output_features,
+        "num_layers": 3,
+    },
+)
+register_model_family(
+    "SAGE",
+    GraphSAGE,
+    lambda stats: {
+        "in_features": stats.vertex_features,
+        "hidden_features": 32,
+        "out_features": stats.output_features,
+        "sample_size": 10,
+    },
+)
+register_model_family(
+    "GIN",
+    GIN,
+    lambda stats: {
+        "in_features": stats.vertex_features,
+        "hidden_features": 16,
+        "out_features": stats.output_features,
+        "eps": 0.0,
+    },
+)
 
 
 def benchmark_model_config(benchmark: Benchmark) -> dict[str, Any]:
     """The model's constructor hyper-parameters as plain data.
 
     One ``{"family": ..., **constructor_kwargs}`` document per benchmark
-    — the single source :func:`benchmark_model` builds from, and the
-    ``model config`` half of the cross-system
-    :class:`repro.systems.Workload` cache fingerprint.
+    — the single source :func:`benchmark_model` builds from.
     """
     stats = DATASETS[benchmark.dataset.lower()]
     family = benchmark.model.upper()
-    if family == "GCN":
-        return {
-            "family": "GCN",
-            "in_features": stats.vertex_features,
-            "hidden_features": 16,
-            "out_features": stats.output_features,
-        }
-    if family == "GAT":
-        return {
-            "family": "GAT",
-            "in_features": stats.vertex_features,
-            "hidden_features": 8,
-            "out_features": stats.output_features,
-            "num_heads": 8,
-            "normalize": False,
-        }
-    if family == "MPNN":
-        return {
-            "family": "MPNN",
-            "node_features": stats.vertex_features,
-            "edge_features": stats.edge_features,
-            "hidden": stats.output_features,
-            "out_features": stats.output_features,
-            "steps": 3,
-        }
-    if family == "PGNN":
-        return {
-            "family": "PGNN",
-            "in_features": stats.vertex_features,
-            "hidden_features": 8,
-            "out_features": stats.output_features,
-            "num_layers": 3,
-        }
-    raise KeyError(f"unknown model family {benchmark.model!r}")
+    try:
+        registered = MODEL_FAMILIES[family]
+    except KeyError:
+        raise KeyError(f"unknown model family {benchmark.model!r}") from None
+    return {"family": family, **registered.config(stats)}
 
 
 def benchmark_model(benchmark: Benchmark, seed: int = 0) -> GNNModel:
     """Construct the model for a benchmark, sized to its dataset."""
     params = benchmark_model_config(benchmark)
-    cls = _MODEL_CLASSES[params.pop("family")]
+    cls = MODEL_FAMILIES[params.pop("family")].cls
     return cls(seed=seed, **params)
 
 
@@ -170,6 +243,24 @@ def load_benchmark(
 ) -> tuple[GNNModel, Graph | GraphSet]:
     """Model plus input data for a benchmark."""
     return benchmark_model(benchmark, seed=seed), load_dataset(benchmark.dataset)
+
+
+def benchmark_ir(benchmark: Benchmark, seed: int = 0) -> ModelIR:
+    """The per-layer op-stream IR of one benchmark inference pass."""
+    model, data = load_benchmark(benchmark, seed=seed)
+    return model.layer_ir(data)
+
+
+@lru_cache(maxsize=None)
+def benchmark_ir_digest(benchmark_key: str, seed: int = 0) -> str:
+    """Content hash of a benchmark's IR, memoized per process.
+
+    This digest is the ``model`` half of every cross-system cache
+    fingerprint: it covers all shape-affecting hyper-parameters (they
+    determine the emitted spec stream), so cached results can never
+    alias across IR revisions or model-config changes.
+    """
+    return benchmark_ir(benchmark_by_key(benchmark_key), seed=seed).digest()
 
 
 def benchmark_workload(benchmark: Benchmark, seed: int = 0) -> ModelWorkload:

@@ -17,11 +17,17 @@ import numpy as np
 from repro.graphs.graph import Graph
 from repro.models.activations import relu, softmax
 from repro.models.base import GNNModel
+from repro.models.ir import (
+    DenseTransform,
+    EdgeAggregate,
+    LayerSpec,
+    ModelIR,
+    Pointwise,
+)
 from repro.models.workload import (
     DenseMatmul,
     EdgeAggregation,
     Elementwise,
-    ModelWorkload,
     Traversal,
 )
 
@@ -95,42 +101,70 @@ class GraphSAGE(GNNModel):
             h = relu(z) if layer == 0 else softmax(z, axis=1)
         return h
 
-    def workload(self, graph: Graph) -> ModelWorkload:
-        """Operation list; sampled gathers bound the per-vertex work."""
+    def layer_ir(self, graph: Graph) -> ModelIR:
+        """Op-stream specs; sampled gathers bound the per-vertex work."""
         n = graph.num_nodes
         degrees = graph.degrees()
-        work = ModelWorkload(model=self.name, graph=self._graph_name(graph))
+        sampled = int(np.minimum(degrees, self.sample_size).sum())
+        sampled = max(sampled, n)  # isolated vertices read themselves
+        specs: list[LayerSpec] = []
         for layer, (f_in, f_out) in enumerate(self.layer_dims):
-            sampled = int(np.minimum(degrees, self.sample_size).sum())
-            sampled = max(sampled, n)  # isolated vertices read themselves
-            work.add(
-                EdgeAggregation(
+            # Sampled mean aggregation: the gather fan-in is bounded by
+            # the sample size, unlike the full-neighbourhood models.
+            specs.append(
+                EdgeAggregate(
+                    name=f"sage{layer}.sample_mean",
+                    width=f_in,
                     num_inputs=sampled,
                     num_outputs=n,
-                    width=f_in,
-                    op="mean",
-                    label=f"sage{layer}.aggregate",
+                    include_self=False,
+                    sample_bound=self.sample_size,
+                    ops=(
+                        EdgeAggregation(
+                            num_inputs=sampled,
+                            num_outputs=n,
+                            width=f_in,
+                            op="mean",
+                            label=f"sage{layer}.aggregate",
+                        ),
+                        Traversal(
+                            num_vertices=n,
+                            num_visits=sampled,
+                            hops=1,
+                            state_bytes=f_in * 4,
+                            label=f"sage{layer}.sample",
+                        ),
+                    ),
                 )
             )
-            work.add(
-                Traversal(
-                    num_vertices=n,
-                    num_visits=sampled,
-                    hops=1,
-                    state_bytes=f_in * 4,
-                    label=f"sage{layer}.sample",
+            specs.append(
+                DenseTransform(
+                    name=f"sage{layer}.project",
+                    f_in=2 * f_in,
+                    f_out=f_out,
+                    macs_per_item=2 * f_in * f_out,
+                    ops=(
+                        DenseMatmul(
+                            m=n, k=2 * f_in, n=f_out,
+                            label=f"sage{layer}.project",
+                        ),
+                    ),
                 )
             )
-            work.add(
-                DenseMatmul(
-                    m=n, k=2 * f_in, n=f_out, label=f"sage{layer}.project"
+            specs.append(
+                Pointwise(
+                    name=f"sage{layer}.activation",
+                    ops=(
+                        Elementwise(
+                            size=n * f_out,
+                            flops_per_element=1.0 if layer == 0 else 3.0,
+                            label=f"sage{layer}.activation",
+                        ),
+                    ),
                 )
             )
-            work.add(
-                Elementwise(
-                    size=n * f_out,
-                    flops_per_element=1.0 if layer == 0 else 3.0,
-                    label=f"sage{layer}.activation",
-                )
-            )
-        return work
+        return ModelIR(
+            model=self.name,
+            graph=self._graph_name(graph),
+            specs=tuple(specs),
+        )

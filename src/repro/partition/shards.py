@@ -79,10 +79,13 @@ def shard_point_fingerprint(
     whole-graph accelerator entries — and two partitions differing in
     method, seed, chip count, or index never share a shard report.
     """
+    from repro.models.registry import benchmark_ir_digest
+
     return {
         "schema": SCHEMA_VERSION,
         "system": ACCEL_SYSTEM,
         "benchmark": benchmark_key,
+        "ir": benchmark_ir_digest(benchmark_key),
         "config": config_fingerprint(config),
         "shard": spec.fingerprint(),
     }

@@ -1,12 +1,16 @@
-"""GNN model -> accelerator program compiler.
+"""Layer-IR -> accelerator program compiler.
 
-Lowers each benchmark model into the pull-model vertex programs of
-:mod:`repro.runtime.program`.  Per paper Section IV, a GNN layer becomes
-(up to) two accelerator layers: a *project* layer whose vertex tasks
-stream features through the DNQ into the DNA, and a *propagate* layer
-whose tasks gather neighbour values into AGG entries.  Intermediate
-results travel through memory, which is what the runtime's in-memory work
-queues imply.
+One generic :func:`lower` pass turns any model's per-layer op stream
+(:class:`~repro.models.ir.ModelIR`) into the pull-model vertex programs
+of :mod:`repro.runtime.program`; it replaced the five hand-written
+per-model compilers (held bit-identical via the differential oracle in
+``tests/ir/legacy_reference.py`` before they were deleted).
+
+Per paper Section IV, a GNN layer becomes (up to) two accelerator
+layers: a *project* layer whose vertex tasks stream features through the
+DNQ into the DNA, and a *propagate* layer whose tasks gather neighbour
+values into AGG entries.  Intermediate results travel through memory,
+which is what the runtime's in-memory work queues imply.
 
 Per-layer DNA efficiencies come from the :mod:`repro.dataflow` mapper
 applied to the batched layer shape (Section V: "NN-Dataflow is used to
@@ -17,17 +21,20 @@ from __future__ import annotations
 
 import math
 
-from repro.accel.config import GpeCostModel, TileConfig
-from repro.dataflow.layers import MatmulLayer
-from repro.dataflow.mapper import compute_cycles
+from repro.accel.config import TileConfig
 from repro.dataflow.spatial import SpatialArrayConfig
 from repro.graphs.graph import Graph, GraphSet
 from repro.models.base import GNNModel
-from repro.models.gat import GAT
-from repro.models.gcn import GCN
-from repro.models.mpnn import MPNN
-from repro.models.pgnn import PGNN
-from repro.models.sage import GraphSAGE
+from repro.models.ir import (
+    DenseTransform,
+    EdgeAggregate,
+    GraphReduce,
+    LayerSpec,
+    MacShape,
+    ModelIR,
+    Pointwise,
+    TraversalAggregate,
+)
 from repro.runtime.program import (
     AcceleratorProgram,
     LayerProgram,
@@ -58,449 +65,271 @@ def compile_model(
     graph: Graph | GraphSet,
     tile: TileConfig = TileConfig(),
 ) -> AcceleratorProgram:
-    """Lower a benchmark model into an accelerator program."""
-    if isinstance(model, GCN):
-        return _compile_gcn(model, graph, tile)
-    if isinstance(model, GAT):
-        return _compile_gat(model, graph, tile)
-    if isinstance(model, MPNN):
-        return _compile_mpnn(model, graph, tile)
-    if isinstance(model, PGNN):
-        return _compile_pgnn(model, graph, tile)
-    if isinstance(model, GraphSAGE):
-        return _compile_sage(model, graph, tile)
-    raise TypeError(f"no compilation rule for {type(model).__name__}")
+    """Lower a benchmark model into an accelerator program via its IR."""
+    layer_ir = getattr(model, "layer_ir", None)
+    if layer_ir is None:
+        raise TypeError(f"no compilation rule for {type(model).__name__}")
+    return lower(layer_ir(graph), graph, tile)
 
 
-# -- shared helpers -----------------------------------------------------------
+class _LoweringContext:
+    """Shared per-compilation state: graph batching, degrees, tile costs."""
 
-
-def _project_layer(
-    name: str,
-    num_vertices: int,
-    f_in: int,
-    f_out: int,
-    macs_per_vertex: int,
-    costs: GpeCostModel,
-    array: SpatialArrayConfig,
-    out_bytes_per_vertex: int | None = None,
-) -> LayerProgram:
-    """A batched per-vertex dense layer (DNQ -> DNA -> writeback)."""
-    feature_bytes = f_in * VALUE_BYTES
-    output_bytes = (
-        f_out * VALUE_BYTES if out_bytes_per_vertex is None
-        else out_bytes_per_vertex
-    )
-    tasks = [
-        VertexTask(
-            vertex=v,
-            control_instructions=costs.instructions_per_vertex,
-            feature_bytes=feature_bytes,
-            dna_macs=macs_per_vertex,
-            output_bytes=output_bytes,
+    def __init__(self, graph: Graph | GraphSet, tile: TileConfig) -> None:
+        self.tile = tile
+        self.costs = tile.gpe_costs
+        self.array = tile.dna
+        # Global ids: graph-set vertices are numbered consecutively in
+        # graph order (placement keys for the engine's work queues).
+        self.graph_list = (
+            graph.graphs if isinstance(graph, GraphSet) else [graph]
         )
-        for v in range(num_vertices)
-    ]
-    return LayerProgram(
-        name=name,
-        tasks=tasks,
-        dnq_entry_bytes=feature_bytes,
-        agg_width_values=max(1, f_out),
-        dna_efficiency=dna_efficiency(array, num_vertices, f_in, f_out),
-    )
+        self.node_base: list[int] = []
+        total = 0
+        for g in self.graph_list:
+            self.node_base.append(total)
+            total += g.num_nodes
+        self.total_nodes = total
+        self._degrees: dict[int, object] = {}
+        self._dst_of_edge: dict[int, list[int]] = {}
 
+    def degrees(self, gi: int):
+        """Per-vertex out-degrees of graph ``gi``, computed once."""
+        if gi not in self._degrees:
+            self._degrees[gi] = self.graph_list[gi].degrees()
+        return self._degrees[gi]
 
-def _propagate_layer(
-    name: str,
-    graph: Graph,
-    width: int,
-    costs: GpeCostModel,
-    include_self: bool = True,
-    extra_gather_bytes: int = 0,
-) -> LayerProgram:
-    """A gather/aggregate layer over one graph (AGG entry per vertex)."""
-    degrees = graph.degrees()
-    width_bytes = width * VALUE_BYTES + extra_gather_bytes
-    tasks = []
-    for v in range(graph.num_nodes):
-        deg = int(degrees[v])
-        gather = deg + (1 if include_self else 0)
-        if gather == 0:
-            gather = 1  # every vertex reads at least its own state
-        tasks.append(
-            VertexTask(
-                vertex=v,
-                control_instructions=costs.instructions_per_vertex,
-                block_load_bytes=max(VALUE_BYTES, deg * VALUE_BYTES),
-                gather_count=gather,
-                gather_bytes_each=width_bytes,
-                output_bytes=width * VALUE_BYTES,
-            )
-        )
-    return LayerProgram(
-        name=name,
-        tasks=tasks,
-        dnq_entry_bytes=max(VALUE_BYTES, width_bytes),
-        agg_width_values=width,
-        dna_efficiency=1.0,
-    )
-
-
-# -- GCN -----------------------------------------------------------------------
-
-
-def _compile_gcn(
-    model: GCN, graph: Graph, tile: TileConfig
-) -> AcceleratorProgram:
-    costs = tile.gpe_costs
-    layers: list[LayerProgram] = []
-    for i, (f_in, f_out) in enumerate(model.layer_dims):
-        layers.append(
-            _project_layer(
-                f"gcn{i}.project",
-                graph.num_nodes,
-                f_in,
-                f_out,
-                macs_per_vertex=f_in * f_out,
-                costs=costs,
-                array=tile.dna,
-            )
-        )
-        layers.append(
-            _propagate_layer(
-                f"gcn{i}.propagate", graph, f_out, costs, include_self=True
-            )
-        )
-    return AcceleratorProgram(name="GCN", layers=layers)
-
-
-# -- GAT -----------------------------------------------------------------------
-
-
-def _compile_gat(
-    model: GAT, graph: Graph, tile: TileConfig
-) -> AcceleratorProgram:
-    costs = tile.gpe_costs
-    layers: list[LayerProgram] = []
-    for i, gat_layer in enumerate(model.layers):
-        width = gat_layer.num_heads * gat_layer.out_features
-        f_in = gat_layer.in_features
-        # Projection plus the two per-head attention dot products.
-        macs = f_in * width + width * 2
-        layers.append(
-            _project_layer(
-                f"gat{i}.project",
-                graph.num_nodes,
-                f_in,
-                width,
-                macs_per_vertex=macs,
-                costs=costs,
-                array=tile.dna,
-                # h' plus the per-head source/destination scores.
-                out_bytes_per_vertex=(width + 2 * gat_layer.num_heads)
-                * VALUE_BYTES,
-            )
-        )
-        if gat_layer.normalize:
-            # The attention softmax the paper's evaluation removed: the
-            # denominators need one extra gather/reduce pass per layer —
-            # each vertex collects its neighbourhood's exponentiated
-            # scores (one value per head) and the AGG sums them.
-            norm_layer = _propagate_layer(
-                f"gat{i}.attn_normalize",
-                graph,
-                gat_layer.num_heads,
-                costs,
-                include_self=True,
-            )
-            layers.append(norm_layer)
-        # Weighted neighbourhood aggregation; each gathered record carries
-        # the projected vector plus its attention score.
-        layers.append(
-            _propagate_layer(
-                f"gat{i}.aggregate",
-                graph,
-                width,
-                costs,
-                include_self=True,
-                extra_gather_bytes=gat_layer.num_heads * VALUE_BYTES,
-            )
-        )
-    return AcceleratorProgram(name="GAT", layers=layers)
-
-
-# -- MPNN ----------------------------------------------------------------------
-
-
-def _compile_mpnn(
-    model: MPNN, graphs: GraphSet | Graph, tile: TileConfig
-) -> AcceleratorProgram:
-    graph_list = graphs.graphs if isinstance(graphs, GraphSet) else [graphs]
-    costs = tile.gpe_costs
-    array = tile.dna
-    d = model.hidden
-    state_bytes = d * VALUE_BYTES
-
-    # Global ids: vertices first, then directed edges (placement keys).
-    node_base: list[int] = []
-    total_nodes = 0
-    for g in graph_list:
-        node_base.append(total_nodes)
-        total_nodes += g.num_nodes
-    total_edges = sum(g.nnz for g in graph_list)
-
-    def edge_tasks(feature_bytes, macs, output_bytes):
-        tasks = []
-        for gi, g in enumerate(graph_list):
-            base = node_base[gi]
-            dst_of_edge = []
+    def dst_of_edge(self, gi: int) -> list[int]:
+        """Destination vertex of each stored edge of graph ``gi``."""
+        if gi not in self._dst_of_edge:
+            g = self.graph_list[gi]
+            dst: list[int] = []
             for v in range(g.num_nodes):
-                dst_of_edge.extend([v] * (g.indptr[v + 1] - g.indptr[v]))
+                dst.extend([v] * (g.indptr[v + 1] - g.indptr[v]))
+            self._dst_of_edge[gi] = dst
+        return self._dst_of_edge[gi]
+
+
+def lower(
+    ir: ModelIR,
+    graph: Graph | GraphSet,
+    tile: TileConfig = TileConfig(),
+) -> AcceleratorProgram:
+    """Lower a per-layer op stream into an accelerator program.
+
+    Every spec kind has exactly one lowering rule; elementwise phases
+    fold into the producing layer's writeback and emit no layer.
+    """
+    ctx = _LoweringContext(graph, tile)
+    layers: list[LayerProgram] = []
+    for spec in ir.specs:
+        layer = _lower_spec(spec, ctx)
+        if layer is not None:
+            layers.append(layer)
+    return AcceleratorProgram(name=ir.model, layers=layers)
+
+
+def _lower_spec(spec: LayerSpec, ctx: _LoweringContext) -> LayerProgram | None:
+    if isinstance(spec, DenseTransform):
+        return _lower_dense(spec, ctx)
+    if isinstance(spec, EdgeAggregate):
+        return _lower_aggregate(spec, ctx)
+    if isinstance(spec, TraversalAggregate):
+        return _lower_traversal(spec, ctx)
+    if isinstance(spec, GraphReduce):
+        return _lower_reduce(spec, ctx)
+    if isinstance(spec, Pointwise):
+        return None
+    raise TypeError(f"no lowering rule for {type(spec).__name__}")
+
+
+def _dense_efficiency(
+    spec: DenseTransform, ctx: _LoweringContext, num_items: int
+) -> float:
+    """The DNA mapping efficiency of one dense phase.
+
+    Defaults to the natural batched shape (items, f_in, f_out); a
+    :class:`~repro.models.ir.MacShape` override describes phases the
+    compiler batches differently (per-edge matvecs, GRU gates).
+    """
+    shape = spec.mac_shape
+    if shape is None:
+        shape = MacShape(m=num_items, k=spec.f_in, n=spec.f_out)
+    n = ctx.array.cols if shape.n is None else shape.n
+    if shape.clamp_n_to_cols:
+        n = min(ctx.array.cols, n)
+    return dna_efficiency(ctx.array, shape.m, shape.k, n)
+
+
+def _lower_dense(spec: DenseTransform, ctx: _LoweringContext) -> LayerProgram:
+    """A batched dense layer (DNQ -> DNA -> writeback), one task per item."""
+    feature_bytes = spec.f_in * VALUE_BYTES
+    out_values = spec.f_out if spec.out_values is None else spec.out_values
+    output_bytes = out_values * VALUE_BYTES
+    tasks: list[VertexTask] = []
+    if spec.space == "vertex":
+        num_items = ctx.total_nodes
+        for gi, g in enumerate(ctx.graph_list):
+            base = ctx.node_base[gi]
+            for v in range(g.num_nodes):
+                tasks.append(
+                    VertexTask(
+                        vertex=base + v,
+                        control_instructions=ctx.costs.instructions_per_vertex,
+                        feature_bytes=feature_bytes,
+                        dna_macs=spec.macs_per_item,
+                        output_bytes=output_bytes,
+                    )
+                )
+    elif spec.space == "edge":
+        num_items = sum(g.nnz for g in ctx.graph_list)
+        for gi, g in enumerate(ctx.graph_list):
+            base = ctx.node_base[gi]
+            dst_of_edge = ctx.dst_of_edge(gi)
             for e in range(g.nnz):
                 tasks.append(
                     VertexTask(
                         vertex=base + dst_of_edge[e],
-                        control_instructions=costs.instructions_per_vertex,
+                        control_instructions=ctx.costs.instructions_per_vertex,
                         feature_bytes=feature_bytes,
-                        dna_macs=macs,
+                        dna_macs=spec.macs_per_item,
                         output_bytes=output_bytes,
                     )
                 )
-        return tasks
-
-    layers: list[LayerProgram] = []
-
-    # 1. Input embedding of every atom.
-    layers.append(
-        _project_layer(
-            "mpnn.embed",
-            total_nodes,
-            model.node_features,
-            d,
-            macs_per_vertex=model.node_features * d,
-            costs=costs,
-            array=array,
-        )
+    else:
+        raise ValueError(f"{spec.name}: unknown iteration space {spec.space!r}")
+    agg_width = (
+        max(1, spec.f_out) if spec.agg_width is None else spec.agg_width
+    )
+    return LayerProgram(
+        name=spec.name,
+        tasks=tasks,
+        dnq_entry_bytes=feature_bytes,
+        agg_width_values=agg_width,
+        dna_efficiency=_dense_efficiency(spec, ctx, num_items),
     )
 
-    # 2. Edge network: one d x d message matrix per directed edge.
-    matrix_bytes = d * d * VALUE_BYTES
-    edge_net_macs = (
-        model.edge_features * model.edge_mlp_hidden
-        + model.edge_mlp_hidden * d * d
-    )
-    layers.append(
-        LayerProgram(
-            name="mpnn.edge_network",
-            tasks=edge_tasks(
-                feature_bytes=model.edge_features * VALUE_BYTES,
-                macs=edge_net_macs,
-                output_bytes=matrix_bytes,
-            ),
-            dnq_entry_bytes=model.edge_features * VALUE_BYTES,
-            agg_width_values=d,
-            dna_efficiency=dna_efficiency(
-                array, d * d, model.edge_mlp_hidden, min(array.cols, total_edges)
-            ),
-        )
-    )
 
-    # 3. T message-passing steps: message / aggregate / GRU update.
-    message_eff = dna_efficiency(array, d, d, array.cols)
-    gru_eff = dna_efficiency(array, total_nodes, d, 3 * d)
-    for step in range(model.steps):
-        layers.append(
-            LayerProgram(
-                name=f"mpnn.messages[{step}]",
-                tasks=edge_tasks(
-                    feature_bytes=matrix_bytes + state_bytes,
-                    macs=d * d,
-                    output_bytes=state_bytes,
-                ),
-                dnq_entry_bytes=matrix_bytes + state_bytes,
-                agg_width_values=d,
-                dna_efficiency=message_eff,
-            )
-        )
-        agg_tasks = []
-        for gi, g in enumerate(graph_list):
-            base = node_base[gi]
-            degrees = g.degrees()
-            for v in range(g.num_nodes):
-                deg = max(1, int(degrees[v]))
-                agg_tasks.append(
-                    VertexTask(
-                        vertex=base + v,
-                        control_instructions=costs.instructions_per_vertex,
-                        block_load_bytes=deg * VALUE_BYTES,
-                        gather_count=deg,
-                        gather_bytes_each=state_bytes,
-                        output_bytes=state_bytes,
-                    )
-                )
-        layers.append(
-            LayerProgram(
-                name=f"mpnn.aggregate[{step}]",
-                tasks=agg_tasks,
-                dnq_entry_bytes=state_bytes,
-                agg_width_values=d,
-                dna_efficiency=1.0,
-            )
-        )
-        layers.append(
-            _project_layer(
-                f"mpnn.update[{step}]",
-                total_nodes,
-                2 * d,
-                d,
-                macs_per_vertex=2 * d * 3 * d,
-                costs=costs,
-                array=array,
-            )
-        )
-        # Override: the GRU's gate projections dominate its mapping.
-        layers[-1].dna_efficiency = gru_eff
+def _lower_aggregate(
+    spec: EdgeAggregate, ctx: _LoweringContext
+) -> LayerProgram:
+    """A gather/aggregate layer (AGG entry per vertex).
 
-    # 4. Gated readout: per-node gate+projection, then per-graph sum.
-    layers.append(
-        _project_layer(
-            "mpnn.readout_node",
-            total_nodes,
-            2 * d,
-            model.out_features,
-            macs_per_vertex=2 * d * model.out_features
-            + d * model.out_features,
-            costs=costs,
-            array=array,
-        )
-    )
-    readout_tasks = []
-    for gi, g in enumerate(graph_list):
-        readout_tasks.append(
-            VertexTask(
-                vertex=node_base[gi],
-                control_instructions=costs.instructions_per_vertex,
-                gather_count=g.num_nodes,
-                gather_bytes_each=model.out_features * VALUE_BYTES,
-                output_bytes=model.out_features * VALUE_BYTES,
-            )
-        )
-    layers.append(
-        LayerProgram(
-            name="mpnn.readout_sum",
-            tasks=readout_tasks,
-            dnq_entry_bytes=model.out_features * VALUE_BYTES,
-            agg_width_values=model.out_features,
-            dna_efficiency=1.0,
-        )
-    )
-    return AcceleratorProgram(name="MPNN", layers=layers)
-
-
-# -- GraphSAGE (extension) -----------------------------------------------------
-
-
-def _compile_sage(
-    model: GraphSAGE, graph: Graph, tile: TileConfig
-) -> AcceleratorProgram:
-    costs = tile.gpe_costs
-    degrees = graph.degrees()
-    layers: list[LayerProgram] = []
-    for i, (f_in, f_out) in enumerate(model.layer_dims):
-        # Sampled mean aggregation: the gather fan-in is bounded by the
-        # sample size, unlike the full-neighbourhood models.
-        width_bytes = f_in * VALUE_BYTES
-        tasks = []
-        for v in range(graph.num_nodes):
-            fanout = int(min(model.sample_size, degrees[v]))
-            tasks.append(
-                VertexTask(
-                    vertex=v,
-                    control_instructions=costs.instructions_per_vertex,
-                    block_load_bytes=max(VALUE_BYTES, fanout * VALUE_BYTES),
-                    gather_count=max(1, fanout),
-                    gather_bytes_each=width_bytes,
-                    output_bytes=width_bytes,
-                )
-            )
-        layers.append(
-            LayerProgram(
-                name=f"sage{i}.sample_mean",
-                tasks=tasks,
-                dnq_entry_bytes=width_bytes,
-                agg_width_values=f_in,
-            )
-        )
-        layers.append(
-            _project_layer(
-                f"sage{i}.project",
-                graph.num_nodes,
-                2 * f_in,
-                f_out,
-                macs_per_vertex=2 * f_in * f_out,
-                costs=costs,
-                array=tile.dna,
-            )
-        )
-    return AcceleratorProgram(name="GraphSAGE", layers=layers)
-
-
-# -- PGNN ----------------------------------------------------------------------
-
-
-def _compile_pgnn(
-    model: PGNN, graph: Graph, tile: TileConfig
-) -> AcceleratorProgram:
-    costs = tile.gpe_costs
-    degrees = graph.degrees().astype(int)
-    layers: list[LayerProgram] = []
-    for i, (f_in, f_out) in enumerate(model.layer_dims):
-        # Project once per operator family member (I, D, A, A^2).
-        layers.append(
-            _project_layer(
-                f"pgnn{i}.project",
-                graph.num_nodes,
-                f_in,
-                f_out,
-                macs_per_vertex=4 * f_in * f_out,
-                costs=costs,
-                array=tile.dna,
-                out_bytes_per_vertex=4 * f_out * VALUE_BYTES,
-            )
-        )
-        # Combine: the A branch is a 1-hop gather; the A^2 branch is the
-        # dependent 2-hop expansion sequenced step by step on the GPE.
-        width_bytes = f_out * VALUE_BYTES
-        tasks = []
-        for v in range(graph.num_nodes):
+    One rule covers every variant: the fan-in is the vertex degree,
+    optionally capped by the sample bound; a self contribution extends
+    the gather; isolated vertices still read their own state.
+    """
+    record_bytes = spec.width * VALUE_BYTES + spec.extra_gather_bytes
+    tasks: list[VertexTask] = []
+    for gi, g in enumerate(ctx.graph_list):
+        base = ctx.node_base[gi]
+        degrees = ctx.degrees(gi)
+        for v in range(g.num_nodes):
             deg = int(degrees[v])
-            two_hop = int(degrees[graph.neighbors(v)].sum())
-            rounds = []
-            if deg:
-                rounds.append(TraversalRound(count=deg, bytes_each=64))
-            if two_hop:
-                rounds.append(
-                    TraversalRound(count=two_hop, bytes_each=width_bytes)
-                )
+            fanout = (
+                deg if spec.sample_bound is None
+                else int(min(spec.sample_bound, deg))
+            )
+            gather = fanout + (1 if spec.include_self else 0)
+            if gather == 0:
+                gather = 1  # every vertex reads at least its own state
             tasks.append(
                 VertexTask(
-                    vertex=v,
-                    control_instructions=costs.instructions_per_vertex,
+                    vertex=base + v,
+                    control_instructions=ctx.costs.instructions_per_vertex,
+                    block_load_bytes=max(VALUE_BYTES, fanout * VALUE_BYTES),
+                    gather_count=gather,
+                    gather_bytes_each=record_bytes,
+                    output_bytes=spec.width * VALUE_BYTES,
+                )
+            )
+    return LayerProgram(
+        name=spec.name,
+        tasks=tasks,
+        dnq_entry_bytes=max(VALUE_BYTES, record_bytes),
+        agg_width_values=spec.width,
+        dna_efficiency=1.0,
+    )
+
+
+def _lower_traversal(
+    spec: TraversalAggregate, ctx: _LoweringContext
+) -> LayerProgram:
+    """A dependent multi-hop expansion sequenced on the GPE (PGNN A^k).
+
+    Hop 1 visits each neighbour; hop ``k`` visits the neighbours' hop
+    ``k-1`` frontiers (counted as a multiset, so totals match the
+    ``sum_u deg(u)^(k-1)`` closed form on symmetric graphs).  Visits
+    beyond hop 1 are local AGG contributions, not remote gathers.
+    """
+    width_bytes = spec.width * VALUE_BYTES
+    tasks: list[VertexTask] = []
+    for gi, g in enumerate(ctx.graph_list):
+        base = ctx.node_base[gi]
+        degrees = ctx.degrees(gi)
+        # hop_counts[k][v]: edge endpoints touched expanding hop k+1 of v.
+        hop_counts = []
+        prev = [1] * g.num_nodes
+        for _ in spec.hop_bytes:
+            current = [
+                int(sum(prev[u] for u in g.neighbors(v)))
+                for v in range(g.num_nodes)
+            ]
+            hop_counts.append(current)
+            prev = current
+        for v in range(g.num_nodes):
+            deg = int(degrees[v])
+            rounds = []
+            local = 0
+            for hop, bytes_spec in enumerate(spec.hop_bytes):
+                count = hop_counts[hop][v]
+                bytes_each = (
+                    width_bytes if bytes_spec is None else bytes_spec
+                )
+                if count:
+                    rounds.append(
+                        TraversalRound(count=count, bytes_each=bytes_each)
+                    )
+                if hop >= 1:
+                    local += count
+            tasks.append(
+                VertexTask(
+                    vertex=base + v,
+                    control_instructions=ctx.costs.instructions_per_vertex,
                     block_load_bytes=max(VALUE_BYTES, deg * VALUE_BYTES),
                     traversal=tuple(rounds),
-                    gather_count=max(1, deg),  # A branch plus own state
+                    gather_count=max(1, deg),  # 1-hop branch plus own state
                     gather_bytes_each=width_bytes,
-                    local_contributions=two_hop if rounds else 0,
+                    local_contributions=local if rounds else 0,
                     output_bytes=width_bytes,
                 )
             )
-        layers.append(
-            LayerProgram(
-                name=f"pgnn{i}.combine",
-                tasks=tasks,
-                dnq_entry_bytes=width_bytes,
-                agg_width_values=f_out,
-                dna_efficiency=1.0,
-            )
+    return LayerProgram(
+        name=spec.name,
+        tasks=tasks,
+        dnq_entry_bytes=width_bytes,
+        agg_width_values=spec.width,
+        dna_efficiency=1.0,
+    )
+
+
+def _lower_reduce(spec: GraphReduce, ctx: _LoweringContext) -> LayerProgram:
+    """A whole-graph reduction: one task per graph of the batch."""
+    width_bytes = spec.width * VALUE_BYTES
+    tasks = [
+        VertexTask(
+            vertex=ctx.node_base[gi],
+            control_instructions=ctx.costs.instructions_per_vertex,
+            gather_count=g.num_nodes,
+            gather_bytes_each=width_bytes,
+            output_bytes=width_bytes,
         )
-    return AcceleratorProgram(name="PGNN", layers=layers)
+        for gi, g in enumerate(ctx.graph_list)
+    ]
+    return LayerProgram(
+        name=spec.name,
+        tasks=tasks,
+        dnq_entry_bytes=width_bytes,
+        agg_width_values=spec.width,
+        dna_efficiency=1.0,
+    )

@@ -79,7 +79,17 @@ class Workload:
         return load_benchmark(self.benchmark, seed=self.seed)
 
     def fingerprint(self) -> dict[str, Any]:
-        """The workload half of a cross-system cache key (plain data)."""
+        """The workload half of a cross-system cache key (plain data).
+
+        The model stanza is the benchmark's IR content digest
+        (:func:`repro.models.registry.benchmark_ir_digest`): it covers
+        every shape-affecting hyper-parameter — they determine the
+        emitted spec stream — plus the IR schema itself, so cached
+        results can never alias across model-config changes *or* IR
+        revisions.
+        """
+        from repro.models.registry import benchmark_ir_digest
+
         return {
             "benchmark": self.benchmark_key,
             "seed": self.seed,
@@ -92,7 +102,10 @@ class Workload:
                 "edge_features": self.edge_features,
                 "output_features": self.output_features,
             },
-            "model": dict(self.model_config),
+            "model": {
+                "family": self.family,
+                "ir": benchmark_ir_digest(self.benchmark_key, self.seed),
+            },
         }
 
 

@@ -1,12 +1,14 @@
 """The Eyeriss-like dense dataflow accelerator as an :class:`ExecutionBackend`.
 
-Wraps the Section II study (:mod:`repro.dataflow`): the GCN inference is
-lowered to its dense matmul layer sequence and scheduled onto the
+Wraps the Section II study (:mod:`repro.dataflow`): a benchmark's layer
+IR is lowered to its dense matmul sequence
+(:func:`repro.dataflow.layers.ir_dense_layers`) and scheduled onto the
 Table I spatial array by the NN-Dataflow-like mapper, priced at the
-paper's 68 GBps off-chip bandwidth.  The study — like the paper's —
-covers only the GCN benchmarks; preparing any other workload raises
-:class:`~repro.systems.base.UnsupportedWorkloadError` naming the
-supported keys.
+paper's 68 GBps off-chip bandwidth.  Any model whose IR is
+dense-expressible maps — GCN, GAT, MPNN, GraphSAGE, GIN; workloads with
+a dependent multi-hop traversal phase (PGNN's power-graph expansion)
+raise :class:`~repro.systems.base.UnsupportedWorkloadError` naming the
+offending IR phases.
 """
 
 from __future__ import annotations
@@ -14,10 +16,10 @@ from __future__ import annotations
 import dataclasses
 from typing import TYPE_CHECKING
 
-from repro.dataflow.layers import gcn_dense_layers
+from repro.dataflow.layers import ir_dense_layers, unmappable_specs
 from repro.dataflow.mapper import analyze_network
 from repro.dataflow.spatial import EYERISS_CONFIG, SpatialArrayConfig
-from repro.graphs.datasets import load_dataset
+from repro.models.registry import benchmark_ir
 from repro.systems.base import (
     ExecutionPlan,
     SystemReport,
@@ -36,9 +38,6 @@ SECTION2_BANDWIDTH_GBPS = 68.0
 #: Array clock of the Section II study (GHz).
 DEFAULT_FREQ_GHZ = 2.4
 
-#: Benchmarks the Section II study covers.
-SUPPORTED_BENCHMARKS = ("gcn-cora", "gcn-citeseer", "gcn-pubmed")
-
 
 class EyerissSystem:
     """The dense DNN accelerator the paper's Section II argues against."""
@@ -51,11 +50,14 @@ class EyerissSystem:
         self._freq_ghz = options.clock_ghz or DEFAULT_FREQ_GHZ
 
     def prepare(self, workload: Workload) -> ExecutionPlan:
-        if workload.family != "GCN":
+        ir = benchmark_ir(workload.benchmark, seed=workload.seed)
+        unmappable = unmappable_specs(ir)
+        if unmappable:
             raise UnsupportedWorkloadError(
-                f"the eyeriss dataflow study only maps GCN benchmarks "
-                f"({', '.join(SUPPORTED_BENCHMARKS)}); "
-                f"got {workload.benchmark_key!r}"
+                f"the eyeriss dataflow study cannot map "
+                f"{workload.benchmark_key!r}: IR phases {unmappable} are "
+                f"dependent multi-hop traversals with no dense-matrix "
+                f"equivalent"
             )
         return ExecutionPlan(
             system=self.name,
@@ -71,13 +73,8 @@ class EyerissSystem:
         self, plan: ExecutionPlan, observer: "Observer | None" = None
     ) -> SystemReport:
         workload = plan.workload
-        graph = load_dataset(workload.dataset)
-        model = dict(workload.model_config)
-        layers = gcn_dense_layers(
-            graph,
-            hidden=model["hidden_features"],
-            out_features=model["out_features"],
-        )
+        ir = benchmark_ir(workload.benchmark, seed=workload.seed)
+        layers = ir_dense_layers(ir)
         analysis = analyze_network(
             layers, self._array, self._bandwidth_gbps, self._freq_ghz
         )

@@ -166,7 +166,8 @@ def _register_builtins() -> None:
     )
     register_system(
         "eyeriss", EyerissSystem,
-        "dense spatial-array dataflow mapper (Section II study; GCN only)",
+        "dense spatial-array dataflow mapper (Section II study; any "
+        "dense-expressible IR)",
     )
     register_system(
         "multichip", MultiChipSystem,

@@ -57,13 +57,13 @@ class TestMixedSweep:
         clear_memo()
 
     def test_unsupported_workload_is_a_failed_point(self, tmp_path):
-        # Eyeriss maps GCN only: a GAT point fails cleanly instead of
-        # crashing the sweep.
+        # Eyeriss cannot map PGNN's dependent traversal: the point
+        # fails cleanly instead of crashing the sweep.
         cache = ResultCache(tmp_path)
         outcome = run_sweep_detailed(
-            [Point("gat-cora", system="eyeriss")], jobs=1, cache=cache
+            [Point("pgnn-dblp_1", system="eyeriss")], jobs=1, cache=cache
         )
         assert not outcome.ok
         (result,) = outcome.results
         assert result.status == "error"
-        assert "gcn-cora" in (result.error or "")  # names supported keys
+        assert "pgnn0.combine" in (result.error or "")  # names the phases

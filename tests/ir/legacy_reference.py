@@ -1,0 +1,505 @@
+"""Frozen copy of the seed per-model compilers — the differential oracle.
+
+This is the hand-written ``_compile_{gcn,gat,mpnn,pgnn,sage}`` dispatch
+that :mod:`repro.runtime.compiler` shipped before the generic layer-IR
+lowering replaced it.  It is vendored here verbatim (only this docstring
+changed) so the differential identity harness in
+``tests/ir/test_lowering_identity.py`` can keep asserting that the
+generic ``lower(ir, graph, tile)`` path reproduces these programs
+field-for-field long after the legacy code was deleted from the package.
+
+Do not "fix" or modernize this file: its whole value is staying exactly
+what the seed produced.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.accel.config import GpeCostModel, TileConfig
+from repro.dataflow.layers import MatmulLayer
+from repro.dataflow.mapper import compute_cycles
+from repro.dataflow.spatial import SpatialArrayConfig
+from repro.graphs.graph import Graph, GraphSet
+from repro.models.base import GNNModel
+from repro.models.gat import GAT
+from repro.models.gcn import GCN
+from repro.models.mpnn import MPNN
+from repro.models.pgnn import PGNN
+from repro.models.sage import GraphSAGE
+from repro.runtime.program import (
+    AcceleratorProgram,
+    LayerProgram,
+    TraversalRound,
+    VertexTask,
+)
+
+VALUE_BYTES = 4
+
+
+def dna_efficiency(array: SpatialArrayConfig, m: int, k: int, n: int) -> float:
+    """MAC-throughput fraction of a batched (m, k, n) matmul on the array.
+
+    Unlike the Section II study — where the graph convolution is forced
+    through a rigid conv mapping with the adjacency as weights
+    (:func:`repro.dataflow.mapper.compute_cycles`) — the accelerator's
+    compiler is free to flatten a batched fully-connected layer's output
+    elements across the PE array, so only the tail pass loses
+    utilization.
+    """
+    outputs = m * n
+    passes = math.ceil(outputs / array.num_pes)
+    return min(1.0, outputs / (passes * array.num_pes))
+
+
+def compile_model(
+    model: GNNModel,
+    graph: Graph | GraphSet,
+    tile: TileConfig = TileConfig(),
+) -> AcceleratorProgram:
+    """Lower a benchmark model into an accelerator program."""
+    if isinstance(model, GCN):
+        return _compile_gcn(model, graph, tile)
+    if isinstance(model, GAT):
+        return _compile_gat(model, graph, tile)
+    if isinstance(model, MPNN):
+        return _compile_mpnn(model, graph, tile)
+    if isinstance(model, PGNN):
+        return _compile_pgnn(model, graph, tile)
+    if isinstance(model, GraphSAGE):
+        return _compile_sage(model, graph, tile)
+    raise TypeError(f"no compilation rule for {type(model).__name__}")
+
+
+# -- shared helpers -----------------------------------------------------------
+
+
+def _project_layer(
+    name: str,
+    num_vertices: int,
+    f_in: int,
+    f_out: int,
+    macs_per_vertex: int,
+    costs: GpeCostModel,
+    array: SpatialArrayConfig,
+    out_bytes_per_vertex: int | None = None,
+) -> LayerProgram:
+    """A batched per-vertex dense layer (DNQ -> DNA -> writeback)."""
+    feature_bytes = f_in * VALUE_BYTES
+    output_bytes = (
+        f_out * VALUE_BYTES if out_bytes_per_vertex is None
+        else out_bytes_per_vertex
+    )
+    tasks = [
+        VertexTask(
+            vertex=v,
+            control_instructions=costs.instructions_per_vertex,
+            feature_bytes=feature_bytes,
+            dna_macs=macs_per_vertex,
+            output_bytes=output_bytes,
+        )
+        for v in range(num_vertices)
+    ]
+    return LayerProgram(
+        name=name,
+        tasks=tasks,
+        dnq_entry_bytes=feature_bytes,
+        agg_width_values=max(1, f_out),
+        dna_efficiency=dna_efficiency(array, num_vertices, f_in, f_out),
+    )
+
+
+def _propagate_layer(
+    name: str,
+    graph: Graph,
+    width: int,
+    costs: GpeCostModel,
+    include_self: bool = True,
+    extra_gather_bytes: int = 0,
+) -> LayerProgram:
+    """A gather/aggregate layer over one graph (AGG entry per vertex)."""
+    degrees = graph.degrees()
+    width_bytes = width * VALUE_BYTES + extra_gather_bytes
+    tasks = []
+    for v in range(graph.num_nodes):
+        deg = int(degrees[v])
+        gather = deg + (1 if include_self else 0)
+        if gather == 0:
+            gather = 1  # every vertex reads at least its own state
+        tasks.append(
+            VertexTask(
+                vertex=v,
+                control_instructions=costs.instructions_per_vertex,
+                block_load_bytes=max(VALUE_BYTES, deg * VALUE_BYTES),
+                gather_count=gather,
+                gather_bytes_each=width_bytes,
+                output_bytes=width * VALUE_BYTES,
+            )
+        )
+    return LayerProgram(
+        name=name,
+        tasks=tasks,
+        dnq_entry_bytes=max(VALUE_BYTES, width_bytes),
+        agg_width_values=width,
+        dna_efficiency=1.0,
+    )
+
+
+# -- GCN -----------------------------------------------------------------------
+
+
+def _compile_gcn(
+    model: GCN, graph: Graph, tile: TileConfig
+) -> AcceleratorProgram:
+    costs = tile.gpe_costs
+    layers: list[LayerProgram] = []
+    for i, (f_in, f_out) in enumerate(model.layer_dims):
+        layers.append(
+            _project_layer(
+                f"gcn{i}.project",
+                graph.num_nodes,
+                f_in,
+                f_out,
+                macs_per_vertex=f_in * f_out,
+                costs=costs,
+                array=tile.dna,
+            )
+        )
+        layers.append(
+            _propagate_layer(
+                f"gcn{i}.propagate", graph, f_out, costs, include_self=True
+            )
+        )
+    return AcceleratorProgram(name="GCN", layers=layers)
+
+
+# -- GAT -----------------------------------------------------------------------
+
+
+def _compile_gat(
+    model: GAT, graph: Graph, tile: TileConfig
+) -> AcceleratorProgram:
+    costs = tile.gpe_costs
+    layers: list[LayerProgram] = []
+    for i, gat_layer in enumerate(model.layers):
+        width = gat_layer.num_heads * gat_layer.out_features
+        f_in = gat_layer.in_features
+        # Projection plus the two per-head attention dot products.
+        macs = f_in * width + width * 2
+        layers.append(
+            _project_layer(
+                f"gat{i}.project",
+                graph.num_nodes,
+                f_in,
+                width,
+                macs_per_vertex=macs,
+                costs=costs,
+                array=tile.dna,
+                # h' plus the per-head source/destination scores.
+                out_bytes_per_vertex=(width + 2 * gat_layer.num_heads)
+                * VALUE_BYTES,
+            )
+        )
+        if gat_layer.normalize:
+            # The attention softmax the paper's evaluation removed: the
+            # denominators need one extra gather/reduce pass per layer —
+            # each vertex collects its neighbourhood's exponentiated
+            # scores (one value per head) and the AGG sums them.
+            norm_layer = _propagate_layer(
+                f"gat{i}.attn_normalize",
+                graph,
+                gat_layer.num_heads,
+                costs,
+                include_self=True,
+            )
+            layers.append(norm_layer)
+        # Weighted neighbourhood aggregation; each gathered record carries
+        # the projected vector plus its attention score.
+        layers.append(
+            _propagate_layer(
+                f"gat{i}.aggregate",
+                graph,
+                width,
+                costs,
+                include_self=True,
+                extra_gather_bytes=gat_layer.num_heads * VALUE_BYTES,
+            )
+        )
+    return AcceleratorProgram(name="GAT", layers=layers)
+
+
+# -- MPNN ----------------------------------------------------------------------
+
+
+def _compile_mpnn(
+    model: MPNN, graphs: GraphSet | Graph, tile: TileConfig
+) -> AcceleratorProgram:
+    graph_list = graphs.graphs if isinstance(graphs, GraphSet) else [graphs]
+    costs = tile.gpe_costs
+    array = tile.dna
+    d = model.hidden
+    state_bytes = d * VALUE_BYTES
+
+    # Global ids: vertices first, then directed edges (placement keys).
+    node_base: list[int] = []
+    total_nodes = 0
+    for g in graph_list:
+        node_base.append(total_nodes)
+        total_nodes += g.num_nodes
+    total_edges = sum(g.nnz for g in graph_list)
+
+    def edge_tasks(feature_bytes, macs, output_bytes):
+        tasks = []
+        for gi, g in enumerate(graph_list):
+            base = node_base[gi]
+            dst_of_edge = []
+            for v in range(g.num_nodes):
+                dst_of_edge.extend([v] * (g.indptr[v + 1] - g.indptr[v]))
+            for e in range(g.nnz):
+                tasks.append(
+                    VertexTask(
+                        vertex=base + dst_of_edge[e],
+                        control_instructions=costs.instructions_per_vertex,
+                        feature_bytes=feature_bytes,
+                        dna_macs=macs,
+                        output_bytes=output_bytes,
+                    )
+                )
+        return tasks
+
+    layers: list[LayerProgram] = []
+
+    # 1. Input embedding of every atom.
+    layers.append(
+        _project_layer(
+            "mpnn.embed",
+            total_nodes,
+            model.node_features,
+            d,
+            macs_per_vertex=model.node_features * d,
+            costs=costs,
+            array=array,
+        )
+    )
+
+    # 2. Edge network: one d x d message matrix per directed edge.
+    matrix_bytes = d * d * VALUE_BYTES
+    edge_net_macs = (
+        model.edge_features * model.edge_mlp_hidden
+        + model.edge_mlp_hidden * d * d
+    )
+    layers.append(
+        LayerProgram(
+            name="mpnn.edge_network",
+            tasks=edge_tasks(
+                feature_bytes=model.edge_features * VALUE_BYTES,
+                macs=edge_net_macs,
+                output_bytes=matrix_bytes,
+            ),
+            dnq_entry_bytes=model.edge_features * VALUE_BYTES,
+            agg_width_values=d,
+            dna_efficiency=dna_efficiency(
+                array, d * d, model.edge_mlp_hidden, min(array.cols, total_edges)
+            ),
+        )
+    )
+
+    # 3. T message-passing steps: message / aggregate / GRU update.
+    message_eff = dna_efficiency(array, d, d, array.cols)
+    gru_eff = dna_efficiency(array, total_nodes, d, 3 * d)
+    for step in range(model.steps):
+        layers.append(
+            LayerProgram(
+                name=f"mpnn.messages[{step}]",
+                tasks=edge_tasks(
+                    feature_bytes=matrix_bytes + state_bytes,
+                    macs=d * d,
+                    output_bytes=state_bytes,
+                ),
+                dnq_entry_bytes=matrix_bytes + state_bytes,
+                agg_width_values=d,
+                dna_efficiency=message_eff,
+            )
+        )
+        agg_tasks = []
+        for gi, g in enumerate(graph_list):
+            base = node_base[gi]
+            degrees = g.degrees()
+            for v in range(g.num_nodes):
+                deg = max(1, int(degrees[v]))
+                agg_tasks.append(
+                    VertexTask(
+                        vertex=base + v,
+                        control_instructions=costs.instructions_per_vertex,
+                        block_load_bytes=deg * VALUE_BYTES,
+                        gather_count=deg,
+                        gather_bytes_each=state_bytes,
+                        output_bytes=state_bytes,
+                    )
+                )
+        layers.append(
+            LayerProgram(
+                name=f"mpnn.aggregate[{step}]",
+                tasks=agg_tasks,
+                dnq_entry_bytes=state_bytes,
+                agg_width_values=d,
+                dna_efficiency=1.0,
+            )
+        )
+        layers.append(
+            _project_layer(
+                f"mpnn.update[{step}]",
+                total_nodes,
+                2 * d,
+                d,
+                macs_per_vertex=2 * d * 3 * d,
+                costs=costs,
+                array=array,
+            )
+        )
+        # Override: the GRU's gate projections dominate its mapping.
+        layers[-1].dna_efficiency = gru_eff
+
+    # 4. Gated readout: per-node gate+projection, then per-graph sum.
+    layers.append(
+        _project_layer(
+            "mpnn.readout_node",
+            total_nodes,
+            2 * d,
+            model.out_features,
+            macs_per_vertex=2 * d * model.out_features
+            + d * model.out_features,
+            costs=costs,
+            array=array,
+        )
+    )
+    readout_tasks = []
+    for gi, g in enumerate(graph_list):
+        readout_tasks.append(
+            VertexTask(
+                vertex=node_base[gi],
+                control_instructions=costs.instructions_per_vertex,
+                gather_count=g.num_nodes,
+                gather_bytes_each=model.out_features * VALUE_BYTES,
+                output_bytes=model.out_features * VALUE_BYTES,
+            )
+        )
+    layers.append(
+        LayerProgram(
+            name="mpnn.readout_sum",
+            tasks=readout_tasks,
+            dnq_entry_bytes=model.out_features * VALUE_BYTES,
+            agg_width_values=model.out_features,
+            dna_efficiency=1.0,
+        )
+    )
+    return AcceleratorProgram(name="MPNN", layers=layers)
+
+
+# -- GraphSAGE (extension) -----------------------------------------------------
+
+
+def _compile_sage(
+    model: GraphSAGE, graph: Graph, tile: TileConfig
+) -> AcceleratorProgram:
+    costs = tile.gpe_costs
+    degrees = graph.degrees()
+    layers: list[LayerProgram] = []
+    for i, (f_in, f_out) in enumerate(model.layer_dims):
+        # Sampled mean aggregation: the gather fan-in is bounded by the
+        # sample size, unlike the full-neighbourhood models.
+        width_bytes = f_in * VALUE_BYTES
+        tasks = []
+        for v in range(graph.num_nodes):
+            fanout = int(min(model.sample_size, degrees[v]))
+            tasks.append(
+                VertexTask(
+                    vertex=v,
+                    control_instructions=costs.instructions_per_vertex,
+                    block_load_bytes=max(VALUE_BYTES, fanout * VALUE_BYTES),
+                    gather_count=max(1, fanout),
+                    gather_bytes_each=width_bytes,
+                    output_bytes=width_bytes,
+                )
+            )
+        layers.append(
+            LayerProgram(
+                name=f"sage{i}.sample_mean",
+                tasks=tasks,
+                dnq_entry_bytes=width_bytes,
+                agg_width_values=f_in,
+            )
+        )
+        layers.append(
+            _project_layer(
+                f"sage{i}.project",
+                graph.num_nodes,
+                2 * f_in,
+                f_out,
+                macs_per_vertex=2 * f_in * f_out,
+                costs=costs,
+                array=tile.dna,
+            )
+        )
+    return AcceleratorProgram(name="GraphSAGE", layers=layers)
+
+
+# -- PGNN ----------------------------------------------------------------------
+
+
+def _compile_pgnn(
+    model: PGNN, graph: Graph, tile: TileConfig
+) -> AcceleratorProgram:
+    costs = tile.gpe_costs
+    degrees = graph.degrees().astype(int)
+    layers: list[LayerProgram] = []
+    for i, (f_in, f_out) in enumerate(model.layer_dims):
+        # Project once per operator family member (I, D, A, A^2).
+        layers.append(
+            _project_layer(
+                f"pgnn{i}.project",
+                graph.num_nodes,
+                f_in,
+                f_out,
+                macs_per_vertex=4 * f_in * f_out,
+                costs=costs,
+                array=tile.dna,
+                out_bytes_per_vertex=4 * f_out * VALUE_BYTES,
+            )
+        )
+        # Combine: the A branch is a 1-hop gather; the A^2 branch is the
+        # dependent 2-hop expansion sequenced step by step on the GPE.
+        width_bytes = f_out * VALUE_BYTES
+        tasks = []
+        for v in range(graph.num_nodes):
+            deg = int(degrees[v])
+            two_hop = int(degrees[graph.neighbors(v)].sum())
+            rounds = []
+            if deg:
+                rounds.append(TraversalRound(count=deg, bytes_each=64))
+            if two_hop:
+                rounds.append(
+                    TraversalRound(count=two_hop, bytes_each=width_bytes)
+                )
+            tasks.append(
+                VertexTask(
+                    vertex=v,
+                    control_instructions=costs.instructions_per_vertex,
+                    block_load_bytes=max(VALUE_BYTES, deg * VALUE_BYTES),
+                    traversal=tuple(rounds),
+                    gather_count=max(1, deg),  # A branch plus own state
+                    gather_bytes_each=width_bytes,
+                    local_contributions=two_hop if rounds else 0,
+                    output_bytes=width_bytes,
+                )
+            )
+        layers.append(
+            LayerProgram(
+                name=f"pgnn{i}.combine",
+                tasks=tasks,
+                dnq_entry_bytes=width_bytes,
+                agg_width_values=f_out,
+                dna_efficiency=1.0,
+            )
+        )
+    return AcceleratorProgram(name="PGNN", layers=layers)

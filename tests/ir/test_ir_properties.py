@@ -1,0 +1,167 @@
+"""Property-based invariants of the layer IR and its generic lowering.
+
+Two views derive from one :class:`~repro.models.ir.ModelIR`: the
+analytical :class:`~repro.models.workload.ModelWorkload` (attached op
+stream) and the lowered :class:`~repro.runtime.program.AcceleratorProgram`.
+These properties pin the conservation laws connecting them on randomly
+generated graphs, for every registered model family:
+
+* dense MACs are conserved between the lowered vertex tasks and the
+  workload's :class:`~repro.models.workload.DenseMatmul` totals;
+* every gather/reduce phase's fan-in and output traffic match the
+  spec's declared ``num_inputs``/``num_outputs``/``width``;
+* lowering and the IR content digest are deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generators import citation_graph, molecule_graph_set
+from repro.models import GAT, GCN, GIN, MPNN, PGNN, GraphSAGE
+from repro.models.ir import EdgeAggregate, GraphReduce
+from repro.models.workload import BYTES_PER_VALUE, DenseMatmul
+from repro.runtime.compiler import lower
+
+
+def _citation(num_nodes, num_edges, features, seed):
+    graph = citation_graph(num_nodes, num_edges, seed=seed)
+    rng = np.random.default_rng(seed)
+    graph.node_features = rng.standard_normal(
+        (num_nodes, features)
+    ).astype(np.float32)
+    return graph
+
+
+@st.composite
+def model_and_graph(draw):
+    """One (model, graph) pair per registered family, random shapes."""
+    num_nodes = draw(st.integers(6, 28))
+    max_edges = min(70, num_nodes * (num_nodes - 1) // 2)
+    num_edges = draw(st.integers((num_nodes + 1) // 2, max_edges))
+    features = draw(st.integers(1, 24))
+    hidden = draw(st.integers(1, 16))
+    out = draw(st.integers(1, 8))
+    seed = draw(st.integers(0, 2**16))
+    family = draw(st.sampled_from(
+        ["GCN", "GAT", "PGNN", "SAGE", "GIN", "MPNN"]
+    ))
+    if family == "MPNN":
+        num_graphs = draw(st.integers(2, 5))
+        # At least 3 atoms per molecule guarantees ring capacity >= 1
+        # per graph, so a ring budget of at most num_graphs always
+        # places (size-2 molecules can close no rings).
+        total_nodes = draw(st.integers(3 * num_graphs, 6 * num_graphs))
+        tree_edges = total_nodes - num_graphs
+        total_edges = draw(st.integers(
+            tree_edges, tree_edges + num_graphs
+        ))
+        edge_features = draw(st.integers(1, 6))
+        data = molecule_graph_set(
+            num_graphs, total_nodes, total_edges,
+            node_feature_dim=features, edge_feature_dim=edge_features,
+            seed=seed,
+        )
+        model = MPNN(
+            node_features=features, edge_features=edge_features,
+            hidden=hidden, out_features=out,
+            steps=draw(st.integers(1, 3)), seed=seed,
+        )
+        return model, data
+    graph = _citation(num_nodes, num_edges, features, seed)
+    if family == "GCN":
+        model = GCN(features, hidden, out, seed=seed)
+    elif family == "GAT":
+        model = GAT(
+            features, hidden, out,
+            num_heads=draw(st.integers(1, 4)),
+            normalize=draw(st.booleans()), seed=seed,
+        )
+    elif family == "PGNN":
+        model = PGNN(
+            features, hidden, out,
+            num_layers=draw(st.integers(1, 3)), seed=seed,
+        )
+    elif family == "SAGE":
+        model = GraphSAGE(
+            features, hidden, out,
+            sample_size=draw(st.integers(1, 12)), seed=seed,
+        )
+    else:
+        model = GIN(features, hidden, out, seed=seed)
+    return model, graph
+
+
+@given(model_and_graph())
+@settings(max_examples=40, deadline=None)
+def test_dense_macs_conserved_between_views(pair):
+    # The MACs the lowered vertex tasks push through the DNA equal the
+    # analytical workload's dense-matmul totals: neither view may count
+    # work the other does not.
+    model, data = pair
+    ir = model.layer_ir(data)
+    program = lower(ir, data)
+    lowered_macs = sum(
+        task.dna_macs for layer in program.layers for task in layer.tasks
+    )
+    workload_macs = sum(
+        op.macs for op in ir.workload().ops if isinstance(op, DenseMatmul)
+    )
+    assert lowered_macs == workload_macs
+
+
+@given(model_and_graph())
+@settings(max_examples=40, deadline=None)
+def test_aggregate_fanin_and_output_traffic_match_spec(pair):
+    model, data = pair
+    ir = model.layer_ir(data)
+    program = lower(ir, data)
+    layers = {layer.name: layer for layer in program.layers}
+    for spec in ir.specs:
+        if isinstance(spec, EdgeAggregate):
+            layer = layers[spec.name]
+            gathered = sum(t.gather_count for t in layer.tasks)
+            # Exact when every vertex contributes; isolated vertices
+            # still read their own state, adding at most one gather
+            # per output entry.
+            assert spec.num_inputs <= gathered
+            assert gathered <= spec.num_inputs + spec.num_outputs
+            assert len(layer.tasks) == spec.num_outputs
+            assert sum(t.output_bytes for t in layer.tasks) == (
+                spec.num_outputs * spec.width * BYTES_PER_VALUE
+            )
+        elif isinstance(spec, GraphReduce):
+            layer = layers[spec.name]
+            assert sum(t.gather_count for t in layer.tasks) == (
+                spec.num_inputs
+            )
+            assert len(layer.tasks) == spec.num_outputs
+            assert sum(t.output_bytes for t in layer.tasks) == (
+                spec.num_outputs * spec.width * BYTES_PER_VALUE
+            )
+
+
+@given(model_and_graph())
+@settings(max_examples=15, deadline=None)
+def test_lowering_is_deterministic(pair):
+    model, data = pair
+    ir = model.layer_ir(data)
+    assert lower(ir, data) == lower(ir, data)
+
+
+@given(model_and_graph())
+@settings(max_examples=15, deadline=None)
+def test_ir_digest_is_deterministic(pair):
+    model, data = pair
+    assert model.layer_ir(data).digest() == model.layer_ir(data).digest()
+
+
+@given(st.integers(1, 16), st.integers(1, 16))
+@settings(max_examples=20, deadline=None)
+def test_ir_digest_separates_hyper_parameters(hidden_a, hidden_b):
+    # Different shape-affecting hyper-parameters must never share a
+    # digest — the invariant every cache fingerprint leans on.
+    graph = _citation(10, 18, features=5, seed=3)
+    digest_a = GCN(5, hidden_a, 3, seed=0).layer_ir(graph).digest()
+    digest_b = GCN(5, hidden_b, 3, seed=0).layer_ir(graph).digest()
+    assert (digest_a == digest_b) == (hidden_a == hidden_b)

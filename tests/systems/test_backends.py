@@ -75,13 +75,27 @@ class TestEyerissSystem:
             row.useful_traffic_fraction
         )
 
-    def test_rejects_non_gcn_workloads(self):
+    @pytest.mark.parametrize(
+        "benchmark_key",
+        ["gat-cora", "sage-cora", "gin-citeseer"],
+    )
+    def test_maps_any_dense_expressible_model(self, benchmark_key):
+        report = run_system("eyeriss", benchmark_key, cache=None)
+        assert report.latency_ms > 0
+        # The breakdown carries one latency term per dense layer.
+        assert any(k.startswith("project") for k in report.breakdown)
+        assert any(k.startswith("propagate") for k in report.breakdown)
+
+    def test_rejects_traversal_workloads(self):
+        # PGNN's dependent multi-hop expansion has no dense-matrix
+        # equivalent, so it is the one family eyeriss cannot map.
         system = create_system("eyeriss")
         with pytest.raises(UnsupportedWorkloadError) as excinfo:
-            system.prepare(resolve_workload("gat-cora"))
+            system.prepare(resolve_workload("pgnn-dblp_1"))
         message = str(excinfo.value)
-        assert "gat-cora" in message
-        assert "gcn-cora" in message  # names the supported keys
+        assert "pgnn-dblp_1" in message
+        assert "pgnn0.combine" in message  # names the offending IR phases
+        assert "traversal" in message
 
 
 class TestSerialization:

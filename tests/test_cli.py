@@ -308,10 +308,10 @@ class TestCommands:
             assert name in err  # lists the valid names
 
     def test_simulate_unsupported_workload_exits_2(self, capsys):
-        code = main(["simulate", "gat-cora", "--system", "eyeriss"])
+        code = main(["simulate", "pgnn-dblp_1", "--system", "eyeriss"])
         assert code == 2
         err = capsys.readouterr().err
-        assert "gcn-cora" in err  # names the supported keys
+        assert "pgnn0.combine" in err  # names the unmappable IR phases
 
     def test_profile_on_eyeriss_system(self, capsys):
         assert main(["profile", "gcn-cora", "--system", "eyeriss"]) == 0
@@ -335,7 +335,7 @@ class TestCommands:
         assert "0.90x" in out  # Table VII: PGNN sees a CPU slowdown
 
     def test_compare_notes_unsupported_systems(self, capsys):
-        assert main(["compare", "gat-cora",
+        assert main(["compare", "pgnn-dblp_1",
                      "--systems", "cpu", "eyeriss"]) == 0
         out = capsys.readouterr().out
         assert "unsupported" in out  # the table cell
@@ -469,9 +469,9 @@ class TestServeSimCommand:
         assert "instance.0 [down]" in out
 
     def test_unsupported_workloads_are_noted_not_fatal(self, capsys):
-        # eyeriss cannot serve GAT; the run must say so and exit 1 only
-        # when *no* system could serve.
-        code = main(["serve-sim", "gat-cora", "--systems", "eyeriss"])
+        # eyeriss cannot serve PGNN's dependent traversal; the run must
+        # say so and exit 1 only when *no* system could serve.
+        code = main(["serve-sim", "pgnn-dblp_1", "--systems", "eyeriss"])
         assert code == 1
         captured = capsys.readouterr()
         assert "skipped" in captured.out
@@ -492,7 +492,10 @@ class TestServeSimCommand:
         assert code == 2
         err = capsys.readouterr().err
         assert "ambiguous" in err
+        # Every colliding key is listed — the three-way "cora"
+        # collision spans the GCN, GAT, and SAGE rows.
         assert "gcn-cora" in err and "gat-cora" in err
+        assert "sage-cora" in err
 
 
 class TestUnknownNameContract:
@@ -512,6 +515,8 @@ class TestUnknownNameContract:
         err = capsys.readouterr().err
         assert "bert-wikipedia" in err
         assert "gcn-cora" in err  # lists the valid names
+        # The listing covers the registered extension rows too.
+        assert "sage-cora" in err and "gin-citeseer" in err
 
     @pytest.mark.parametrize("argv", [
         ["simulate", "gcn-cora", "--system", "tpu"],
@@ -571,6 +576,9 @@ class TestUnknownNameContract:
                 err = capsys.readouterr().err
                 assert "bert-wikipedia" in err, f"{name} must name the typo"
                 assert "gcn-cora" in err, f"{name} must list valid names"
+                assert "sage-pubmed" in err, (
+                    f"{name} must list extension rows"
+                )
                 covered.append(name)
                 break
         # The known name-taking subcommands must all have been walked.
@@ -623,5 +631,57 @@ class TestBenchmarkShorthands:
         assert "pgnn-dblp_1" in capsys.readouterr().out
 
     def test_compare_accepts_dataset_shorthand(self, capsys):
-        assert main(["compare", "pubmed", "--systems", "cpu"]) == 0
-        assert "gcn-pubmed" in capsys.readouterr().out
+        assert main(["compare", "qm9", "--systems", "cpu"]) == 0
+        assert "mpnn-qm9_1000" in capsys.readouterr().out
+
+    def test_pubmed_shorthand_became_ambiguous(self, capsys):
+        # The SAGE extension row made "pubmed" a two-way collision;
+        # the error must list both candidates.
+        assert main(["compare", "pubmed", "--systems", "cpu"]) == 2
+        err = capsys.readouterr().err
+        assert "ambiguous" in err
+        assert "gcn-pubmed" in err and "sage-pubmed" in err
+
+    def test_model_family_shorthand_resolves(self, capsys):
+        # A model family name with exactly one row is a valid shorthand.
+        assert main(["compare", "gin", "--systems", "cpu"]) == 0
+        assert "gin-citeseer" in capsys.readouterr().out
+
+
+class TestExtensionBenchmarks:
+    """Satellite regression: the registered GraphSAGE/GIN rows are live
+    end-to-end from every benchmark-taking subcommand."""
+
+    def test_simulate_sage_cora(self, capsys):
+        assert main(["simulate", "sage-cora", "--system", "cpu"]) == 0
+        out = capsys.readouterr().out
+        assert "sage-cora on cpu" in out
+
+    def test_sweep_gin_citeseer(self, capsys):
+        assert main(["sweep", "--system", "cpu", "--benchmarks",
+                     "gin-citeseer", "--jobs", "1", "--no-cache"]) == 0
+        assert "gin-citeseer" in capsys.readouterr().out
+
+    def test_compare_sage_cora_across_systems(self, capsys):
+        # The CI ir-smoke invocation: an extension row priced on the
+        # baseline, the dense mapper, and the simulated accelerator.
+        assert main(["compare", "sage-cora", "--systems",
+                     "cpu", "eyeriss", "accel",
+                     "--noc-backend", "analytical"]) == 0
+        out = capsys.readouterr().out
+        assert "sage-cora" in out
+        for system in ("cpu", "eyeriss", "accel"):
+            assert system in out
+
+    def test_partition_sweep_sage_cora(self, tmp_path, capsys):
+        out_path = tmp_path / "scaling.json"
+        assert main(["partition-sweep", "sage-cora", "--chips", "1", "2",
+                     "--noc-backend", "analytical", "--jobs", "1",
+                     "--output", str(out_path)]) == 0
+        assert "sage-cora scaling" in capsys.readouterr().out
+
+    def test_usage_lists_extension_rows(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in ("sage-cora", "sage-pubmed", "gin-citeseer"):
+            assert key in out
