@@ -1,0 +1,139 @@
+"""DSE search-driver performance harness.
+
+Measures the points-per-second throughput of a 64-point seeded random
+search on gcn-cora under the analytical NoC backend at ``--jobs 1``,
+twice: **cold** (fresh result cache, every point simulated) and
+**warm** (same search re-run against the populated cache, every point a
+hit).  The warm/cold ratio is the headline number — it is what makes
+iterating on search drivers cheap — and the byte-identity of the two
+reports is asserted while we are at it.
+
+* **Script mode** — ``PYTHONPATH=src python benchmarks/bench_dse.py``
+  writes the measurement to ``BENCH_dse.json`` at the repository root.
+  Run it after any change to the space, drivers, or cache layers and
+  commit the refreshed numbers.
+
+* **Pytest mode** — ``pytest benchmarks/bench_dse.py -m perf`` guards
+  the cold-search throughput against the checked-in budget (last
+  measurement plus the 25% allowance, scaled by ``$REPRO_PERF_SCALE``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+
+#: Where the checked-in measurement lives (repository root).
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dse.json"
+
+BENCHMARK = "gcn-cora"
+DRIVER = "random"
+POINTS = 64
+SEED = 7
+NOC_BACKEND = "analytical"
+
+REGRESSION_ALLOWANCE = 1.25
+SCALE_ENV = "REPRO_PERF_SCALE"
+
+
+def _run_search(cache) -> tuple[float, dict]:
+    """(elapsed seconds, report document) of one 64-point search."""
+    from repro.dse import run_dse
+
+    start = time.perf_counter()
+    result = run_dse(
+        BENCHMARK, driver=DRIVER, points=POINTS, seed=SEED, jobs=1,
+        cache=cache, noc_backend=NOC_BACKEND,
+    )
+    elapsed = time.perf_counter() - start
+    assert not result.failures, [r.status for r in result.failures]
+    return elapsed, result.document()
+
+
+def measure() -> dict:
+    """Cold-then-warm measurement against a throwaway cache root."""
+    from repro.eval.accelerator import _compiled_program
+    from repro.exp.cache import ResultCache, clear_memo
+
+    _compiled_program(BENCHMARK)  # compile off the clock, like bench_core
+    with tempfile.TemporaryDirectory() as root:
+        cache = ResultCache(root)
+        cold_s, cold_doc = _run_search(cache)
+        clear_memo()  # force the warm run through the on-disk cache
+        warm_s, warm_doc = _run_search(cache)
+    identical = json.dumps(cold_doc, sort_keys=True) == json.dumps(
+        warm_doc, sort_keys=True
+    )
+    assert identical, "cold and warm DSE reports must be byte-identical"
+    return {
+        "points": POINTS,
+        "cold_elapsed_s": round(cold_s, 2),
+        "cold_points_per_sec": round(POINTS / cold_s, 2),
+        "warm_elapsed_s": round(warm_s, 2),
+        "warm_points_per_sec": round(POINTS / warm_s, 2),
+        "warm_speedup": round(cold_s / warm_s, 1),
+        "reports_byte_identical": identical,
+    }
+
+
+# -- perf guard (pytest) ------------------------------------------------------
+
+import pytest  # noqa: E402
+
+
+@pytest.mark.perf
+def test_dse_cold_search_within_budget():
+    """The 64-point cold search must beat the checked-in budget."""
+    if not RESULT_PATH.exists():
+        pytest.skip("BENCH_dse.json not generated yet")
+    recorded = json.loads(RESULT_PATH.read_text())
+    budget = recorded["search"]["budget_s"]
+    scale = float(os.environ.get(SCALE_ENV, "1.0"))
+    measured = measure()
+    assert measured["cold_elapsed_s"] <= budget * scale, (
+        f"dse perf regression: {measured['cold_elapsed_s']:.2f} s cold "
+        f"search exceeds the budget of {budget:.2f} s x {scale:g}; "
+        f"if the slowdown is intended, regenerate BENCH_dse.json"
+    )
+
+
+# -- script mode -------------------------------------------------------------
+
+
+def main() -> None:
+    print(f"timing {POINTS}-point {DRIVER} search on {BENCHMARK} "
+          f"({NOC_BACKEND} NoC, jobs=1, cold then warm) ...")
+    measured = measure()
+    print(f"  cold: {measured['cold_elapsed_s']:.2f} s "
+          f"({measured['cold_points_per_sec']:.2f} points/s)")
+    print(f"  warm: {measured['warm_elapsed_s']:.2f} s "
+          f"({measured['warm_points_per_sec']:.2f} points/s, "
+          f"{measured['warm_speedup']:g}x)")
+
+    payload = {
+        "description": (
+            "Points/sec of a 64-point seeded random search on gcn-cora "
+            "(analytical NoC, jobs=1), cold cache then warm cache; "
+            "regenerate with: PYTHONPATH=src python benchmarks/bench_dse.py"
+        ),
+        "search": {
+            "benchmark": BENCHMARK,
+            "driver": DRIVER,
+            "seed": SEED,
+            "noc_backend": NOC_BACKEND,
+            **measured,
+            "budget_s": round(
+                measured["cold_elapsed_s"] * REGRESSION_ALLOWANCE, 2
+            ),
+        },
+        "cpu": os.cpu_count(),
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,4 +1,12 @@
-"""Accelerator configurations (paper Tables I, IV, VI and Figure 9)."""
+"""Accelerator configurations (paper Tables I, IV, VI and Figure 9).
+
+The three Table VI literals below are the frozen identity reference.
+Name resolution now lives in :mod:`repro.space`: every consumer funnels
+through :func:`repro.space.resolve_config`, which derives the same
+three configurations as named points of the default typed parameter
+space (proven field- and cache-key-identical by the identity suite).
+:func:`configuration_by_name` remains for the literals themselves.
+"""
 
 from __future__ import annotations
 

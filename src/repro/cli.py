@@ -13,6 +13,7 @@ Usage::
     python -m repro systems              # registered execution systems
     python -m repro simulate gcn-cora --system cpu   # baseline backends
     python -m repro compare gcn-cora     # cross-system speedup table
+    python -m repro dse gcn-cora --driver random --points 200 --seed 7
 """
 
 from __future__ import annotations
@@ -40,16 +41,24 @@ def _cmd_list(_args) -> None:
     print("           partition-sweep <benchmark> [--chips 1 2 4 8]"
           " [--method metis|bfs] [--link-bandwidth-gbps GBPS]"
           " [--jobs N] [--output PATH]")
+    print("           dse <benchmark> [--space NAME] [--driver NAME]"
+          " [--points N] [--seed N] [--jobs N] [--noc-backend NAME]"
+          " [--output PATH]")
     print("           systems noc-backends")
+    from repro.dse import driver_names
     from repro.models import ALL_BENCHMARKS
     from repro.noc.backends import backend_names
     from repro.partition import method_names
+    from repro.space import config_names, space_names
     from repro.systems import system_names
 
     print(f"benchmarks: {' '.join(b.key for b in ALL_BENCHMARKS)}")
     print(f"systems: {' '.join(system_names())}")
     print(f"noc backends: {' '.join(backend_names())}")
     print(f"partition methods: {' '.join(method_names())}")
+    print(f"configurations: {' | '.join(config_names())}")
+    print(f"parameter spaces: {' '.join(space_names())}")
+    print(f"dse drivers: {' '.join(driver_names())}")
 
 
 def _cmd_noc_backends(_args) -> None:
@@ -94,7 +103,10 @@ def _resolve_names(
     noc_backend: str | None = None,
     benchmarks: "tuple[str, ...] | list[str]" = (),
     systems: "tuple[str, ...] | list[str]" = (),
+    configs: "tuple[str, ...] | list[str]" = (),
     partition_method: str | None = None,
+    space: str | None = None,
+    dse_driver: str | None = None,
 ) -> int | None:
     """Print a one-line error and return 2 for any unknown name.
 
@@ -103,18 +115,20 @@ def _resolve_names(
     :func:`repro.models.registry.resolve_benchmark_key` (so dataset
     shorthands like ``qm9`` are accepted and ambiguous ones rejected
     with candidates), configurations through
-    :func:`repro.accel.config.configuration_by_name`, execution systems,
-    NoC backends, and partition methods through their registries.  Runs
-    before any simulation or worker spawn, so a typo fails in
-    milliseconds listing the valid names.
+    :func:`repro.space.resolve_config` (the space-derived named points),
+    execution systems, NoC backends, partition methods, parameter
+    spaces, and DSE drivers through their registries.  Runs before any
+    simulation or worker spawn, so a typo fails in milliseconds listing
+    the valid names.
     """
-    from repro.accel.config import configuration_by_name
+    from repro.dse import UnknownDriverError, resolve_driver
     from repro.models.registry import resolve_benchmark_key
     from repro.noc.backends import UnknownBackendError, validate_backend
     from repro.partition.methods import (
         UnknownPartitionMethodError,
         validate_method,
     )
+    from repro.space import UnknownSpaceError, resolve_config, resolve_space
     from repro.systems import UnknownSystemError, validate_system
 
     try:
@@ -122,16 +136,21 @@ def _resolve_names(
             benchmarks
         ):
             resolve_benchmark_key(key)
-        if config is not None:
-            configuration_by_name(config)
+        for name in ([config] if config is not None else []) + list(configs):
+            resolve_config(name)
         for name in ([system] if system is not None else []) + list(systems):
             validate_system(name)
         if noc_backend is not None:
             validate_backend(noc_backend)
         if partition_method is not None:
             validate_method(partition_method)
+        if space is not None:
+            resolve_space(space)
+        if dse_driver is not None:
+            resolve_driver(dse_driver)
     except (KeyError, UnknownSystemError, UnknownBackendError,
-            UnknownPartitionMethodError) as exc:
+            UnknownPartitionMethodError, UnknownSpaceError,
+            UnknownDriverError) as exc:
         print(f"repro {command}: {exc.args[0]}", file=sys.stderr)
         return 2
     return None
@@ -254,25 +273,6 @@ def _cmd_energy(_args) -> None:
     ))
 
 
-def _validate_sweep_args(args) -> str | None:
-    """One-line error for an unknown config name, else None.
-
-    Benchmarks go through :func:`_resolve_names`; configs are validated
-    here because sweep takes several where the other commands take one.
-    Runs before any point is built or any worker spawned, so a typo
-    fails in milliseconds with the valid names instead of after a pool
-    spin-up.
-    """
-    from repro.accel.config import CONFIGURATIONS
-
-    valid_configs = tuple(c.name for c in CONFIGURATIONS)
-    unknown = [c for c in args.configs if c not in valid_configs]
-    if unknown:
-        return (f"unknown config(s) {', '.join(unknown)}; "
-                f"valid: {', '.join(valid_configs)}")
-    return None
-
-
 def _sweep_point_label(point) -> str:
     if point.system != "accel":
         return f"{point.benchmark_key:16s} {point.system:14s}"
@@ -295,13 +295,10 @@ def _cmd_sweep(args) -> int:
     from repro.systems import default_system_name
 
     system = args.system or default_system_name()
-    error = _validate_sweep_args(args)
-    if error is not None:
-        print(f"repro sweep: {error}", file=sys.stderr)
-        return 2
     code = _resolve_names("sweep", system=system,
                           noc_backend=args.noc_backend,
-                          benchmarks=args.benchmarks)
+                          benchmarks=args.benchmarks,
+                          configs=args.configs)
     if code is not None:
         return code
     from repro.models.registry import resolve_benchmark_key
@@ -372,6 +369,83 @@ def _cmd_sweep(args) -> int:
             print(f"  {result.describe()}", file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_dse(args) -> int:
+    import json
+    import time
+
+    from repro.dse import run_dse
+    from repro.exp.cache import ResultCache
+    from repro.exp.runner import RetryPolicy, default_jobs
+    from repro.space import resolve_space
+
+    code = _resolve_names("dse", benchmark=args.benchmark,
+                          noc_backend=args.noc_backend,
+                          space=args.space, dse_driver=args.driver)
+    if code is not None:
+        return code
+    if args.points < 1:
+        print("repro dse: --points must be >= 1", file=sys.stderr)
+        return 2
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    policy = RetryPolicy.from_env(
+        timeout_s=args.timeout, retries=args.retries
+    )
+
+    def progress(evaluation) -> None:
+        source = "cache" if evaluation.status == "cached" else "sim"
+        latency = (f"{evaluation.latency_ms:10.3f} ms" if evaluation.ok
+                   else evaluation.status.upper())
+        print(f"  [{source:>5s}] {evaluation.point.describe()}: {latency}")
+
+    start = time.perf_counter()
+    result = run_dse(
+        args.benchmark,
+        space=resolve_space(args.space),
+        driver=args.driver,
+        points=args.points,
+        seed=args.seed,
+        jobs=jobs,
+        cache=cache,
+        noc_backend=args.noc_backend,
+        fast_forward=args.fast_forward,
+        policy=policy,
+        progress=progress if not args.quiet else None,
+    )
+    elapsed = time.perf_counter() - start
+
+    frontier = result.frontier()
+    rows = [
+        (e.point.config_name,
+         e.config.num_tiles,
+         e.config.num_memory_nodes,
+         f"{e.config.clock_ghz:g}",
+         f"{e.latency_ms:.3f}",
+         e.config.total_alus,
+         f"{e.config.total_bandwidth_gbps:g}")
+        for e in frontier
+    ]
+    print(format_table(
+        ["Point", "Tiles", "Mem", "Clock (GHz)", "Latency (ms)", "ALUs",
+         "BW (GB/s)"],
+        rows,
+        title=f"Pareto frontier — {result.benchmark} "
+              f"({result.driver}, seed {result.seed})",
+    ))
+    print(f"{len(result.evaluations)} points evaluated "
+          f"({len(result.failures)} failed) over "
+          f"{result.generations} generation(s) in {elapsed:.2f} s; "
+          f"frontier {len(frontier)}, "
+          f"hypervolume proxy {result.hypervolume():.4f}")
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(result.document(), fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return 0 if not result.failures else 1
 
 
 def _run_on_system(command: str, system: str, args,
@@ -849,6 +923,73 @@ def build_parser() -> argparse.ArgumentParser:
         "--system", default=None, metavar="NAME",
         help=system_help + "; non-accel systems ignore --configs/--clocks",
     )
+    dse = sub.add_parser(
+        "dse",
+        help="design-space search over a hardware parameter space, "
+             "emitting a Pareto frontier (latency vs ALUs vs bandwidth)",
+    )
+    dse.add_argument(
+        "benchmark", help="benchmark key or dataset shorthand (e.g. "
+                          "gcn-cora)",
+    )
+    dse.add_argument(
+        "--space", default="default", metavar="NAME",
+        help="parameter space to search (default: default)",
+    )
+    dse.add_argument(
+        "--driver", default="random", metavar="NAME",
+        help="search driver: grid, random (default), evolutionary",
+    )
+    dse.add_argument(
+        "--points", type=int, default=64, metavar="N",
+        help="evaluation budget (default: 64)",
+    )
+    dse.add_argument(
+        "--seed", type=int, default=0,
+        help="search seed; same (space, driver, points, seed) -> "
+             "byte-identical report (default: 0)",
+    )
+    dse.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes (default: all cores)",
+    )
+    dse.add_argument(
+        "--noc-backend", default=None, metavar="NAME",
+        help="NoC model for every point: packet (default), flit, "
+             "analytical — part of the cache key",
+    )
+    dse.add_argument(
+        "--fast-forward", action="store_true",
+        help="approximate contention-free scheduling on every point "
+             "(part of the cache key)",
+    )
+    dse.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-point wall-clock budget in seconds "
+             "(default: $REPRO_SWEEP_TIMEOUT or unlimited)",
+    )
+    dse.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="extra attempts after a worker crash "
+             "(default: $REPRO_SWEEP_RETRIES or 2)",
+    )
+    dse.add_argument(
+        "--cache-dir", default=None, metavar="PATH",
+        help="persistent cache root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    dse.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent result cache entirely",
+    )
+    dse.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-point progress lines",
+    )
+    dse.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the schema-v1 Pareto report as JSON to PATH",
+    )
     compare = sub.add_parser(
         "compare",
         help="one benchmark across execution systems, with speedups",
@@ -1030,6 +1171,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "profile": _cmd_profile,
         "sweep": _cmd_sweep,
+        "dse": _cmd_dse,
         "serve-sim": _cmd_serve_sim,
         "partition-sweep": _cmd_partition_sweep,
     }

@@ -1,0 +1,96 @@
+"""Pareto-frontier bookkeeping for design-space searches.
+
+Three objectives, all minimized:
+
+* ``latency_ms`` — the simulated benchmark latency;
+* ``total_alus`` — the Table VI "ALUs" column, the area proxy;
+* ``total_bandwidth_gbps`` — the Table VI "Mem. BW" column, the memory
+  provisioning cost.
+
+The frontier is the non-dominated subset of every successfully
+evaluated point.  :func:`hypervolume_proxy` scores a frontier with a
+*seeded Monte-Carlo dominated-volume estimate*: the fraction of a fixed
+quasi-random sample of the objective box dominated by at least one
+frontier point.  Chosen over the box-sum shortcut because it is
+**monotone** — a frontier computed over a superset of evaluations can
+never score lower under the same bounds — which is what makes "the
+evolutionary driver non-worsens its random init" a checkable invariant
+rather than a hope.  Deterministic for a given (bounds, samples, seed),
+so search reports are byte-identical across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+#: Objective names, report order; every objective is minimized.
+OBJECTIVES: tuple[str, str, str] = (
+    "latency_ms", "total_alus", "total_bandwidth_gbps"
+)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` is no worse than ``b`` everywhere and strictly
+    better somewhere (all objectives minimized)."""
+    return all(x <= y for x, y in zip(a, b)) and any(
+        x < y for x, y in zip(a, b)
+    )
+
+
+def pareto_frontier(
+    points: Iterable[Sequence[float]],
+) -> list[tuple[float, ...]]:
+    """The non-dominated subset, deduplicated, sorted by objective tuple.
+
+    Sorting makes the frontier order a pure function of its contents —
+    no dependence on evaluation order — which the byte-identical report
+    contract relies on.
+    """
+    unique = sorted({tuple(p) for p in points})
+    return [
+        p for p in unique
+        if not any(dominates(q, p) for q in unique if q != p)
+    ]
+
+
+def objective_bounds(
+    points: Iterable[Sequence[float]],
+) -> list[tuple[float, float]]:
+    """Per-objective (min, max) over ``points`` — the reference box."""
+    rows = [tuple(p) for p in points]
+    if not rows:
+        return [(0.0, 1.0)] * len(OBJECTIVES)
+    return [
+        (min(values), max(values)) for values in zip(*rows)
+    ]
+
+
+def hypervolume_proxy(
+    frontier: Iterable[Sequence[float]],
+    bounds: Sequence[tuple[float, float]],
+    samples: int = 4096,
+    seed: int = 0,
+) -> float:
+    """Fraction of the bounds box dominated by the frontier, in [0, 1].
+
+    Seeded Monte-Carlo: ``samples`` fixed pseudo-random points are drawn
+    uniformly from the box and counted as covered when some frontier
+    point is componentwise <= the sample.  Monotone in the frontier's
+    evaluation set under fixed bounds, deterministic for a fixed seed.
+    """
+    front = [tuple(p) for p in frontier]
+    if not front:
+        return 0.0
+    rng = random.Random(seed)
+    covered = 0
+    for _ in range(samples):
+        sample = tuple(
+            lo + (hi - lo) * rng.random() for lo, hi in bounds
+        )
+        if any(
+            all(p[i] <= sample[i] for i in range(len(sample)))
+            for p in front
+        ):
+            covered += 1
+    return covered / samples

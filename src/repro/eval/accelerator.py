@@ -8,9 +8,8 @@ Every simulation request resolves to a content-hashed operating point
   the drivers in fresh processes are near-instant.
 
 Keying on the *resolved configuration's contents* (not its name) means a
-mutated or replaced ``CONFIGURATIONS`` entry — as
-``examples/design_sweeps.py`` encourages — is re-simulated instead of
-silently served a stale report.
+mutated or replaced configuration — as ``examples/design_sweeps.py``
+encourages — is re-simulated instead of silently served a stale report.
 """
 
 from __future__ import annotations
@@ -18,12 +17,13 @@ from __future__ import annotations
 import functools
 from typing import TYPE_CHECKING
 
-from repro.accel.config import AcceleratorConfig, configuration_by_name
+from repro.accel.config import AcceleratorConfig
 from repro.exp.cache import DEFAULT_CACHE, clear_memo, lookup, point_key, store
 from repro.models.registry import Benchmark, benchmark_by_key, load_benchmark
 from repro.runtime.compiler import compile_model
 from repro.runtime.engine import simulate
 from repro.runtime.report import SimulationReport
+from repro.space import resolve_config
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.observer import Observer
@@ -32,7 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: the CLI, energy driver, and tests import them from here.  Unknown
 #: names raise ``KeyError`` listing every valid key.
 _benchmark_by_key = benchmark_by_key
-_config_by_name = configuration_by_name
+_config_by_name = resolve_config
 
 
 def resolve_benchmark_config(
@@ -46,12 +46,14 @@ def resolve_benchmark_config(
 
     The single source of truth for name resolution: the CLI's exit-2
     paths, :func:`run_benchmark`, and the :mod:`repro.systems` accel
-    backend all funnel through the same dict-backed lookups, so an
-    unknown benchmark or configuration always raises the same
-    ``KeyError`` listing the valid names.
+    backend all funnel through :func:`repro.space.resolve_config` (the
+    named points of the default parameter space — bit-identical to the
+    historical literals) and the benchmark registry, so an unknown
+    benchmark or configuration always raises the same ``KeyError``
+    listing the valid names.
     """
     benchmark = benchmark_by_key(benchmark_key)
-    config = configuration_by_name(config_name).with_clock(clock_ghz)
+    config = resolve_config(config_name).with_clock(clock_ghz)
     if noc_backend is not None:
         config = config.with_noc_backend(noc_backend)
     if fast_forward:

@@ -11,7 +11,6 @@ from __future__ import annotations
 import functools
 from dataclasses import dataclass
 
-from repro.accel.config import CONFIGURATIONS
 from repro.accel.energy import (
     EnergyReport,
     baseline_energy_uj,
@@ -49,10 +48,13 @@ class EnergyRow:
 def energy_table(
     config_name: str = "CPU iso-BW", clock_ghz: float = 2.4
 ) -> tuple[EnergyRow, ...]:
-    """Energy of every benchmark on one accelerator configuration."""
+    """Energy of every benchmark on one accelerator configuration.
+
+    Name resolution rides :func:`repro.space.resolve_config` (via the
+    shared ``_config_by_name`` alias) — unknown names raise the same
+    valid-names ``KeyError`` every other consumer reports.
+    """
     config = _config_by_name(config_name).with_clock(clock_ghz)
-    if config_name not in {c.name for c in CONFIGURATIONS}:
-        raise KeyError(config_name)
     rows = []
     for benchmark in BENCHMARKS:
         program = _compiled_program(benchmark.key)

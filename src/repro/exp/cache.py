@@ -14,7 +14,12 @@ of:
 * ``benchmark`` — the benchmark key (``"gcn-cora"``);
 * ``config`` — every field of the resolved
   :class:`~repro.accel.config.AcceleratorConfig`, recursively
-  (:func:`dataclasses.asdict`), including the swept clock.
+  (:func:`dataclasses.asdict`), including the swept clock.  Space-derived
+  configurations (:mod:`repro.space`) enter by their *contents* exactly
+  like the frozen literals — named points reproduce the historical keys
+  bit-for-bit, anonymous DSE points carry content-derived ``dse-...``
+  names — so search drivers ride this cache with no layer in between
+  knowing a parameter space exists.
 
 Cross-system entries (CPU/GPU baselines, the Eyeriss dataflow mapper)
 hash an :class:`~repro.systems.base.ExecutionPlan` fingerprint instead —

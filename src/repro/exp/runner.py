@@ -852,14 +852,14 @@ def figure8_points(
     are part of each point's cache key, so exact and approximate runs
     never share entries.
     """
-    from repro.accel.config import configuration_by_name
     from repro.models.registry import BENCHMARKS
+    from repro.space import resolve_config
 
     keys = tuple(benchmarks or (b.key for b in BENCHMARKS))
     names = tuple(configs or (group[0] for group in FIGURE8_GROUPS))
 
     def resolve(name: str) -> AcceleratorConfig:
-        config = configuration_by_name(name)
+        config = resolve_config(name)
         if noc_backend is not None:
             config = config.with_noc_backend(noc_backend)
         if fast_forward:

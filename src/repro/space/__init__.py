@@ -1,0 +1,109 @@
+"""Typed hardware parameter spaces (design-space exploration substrate).
+
+The paper evaluates exactly three hardware configurations (Table VI);
+the survey literature frames hardware-parameter search — mesh shape,
+buffer widths, bandwidth, clock — as the central co-design question
+those three points only sample.  This package turns the closed world of
+frozen config literals into an open, typed parameter space:
+
+* :mod:`repro.space.params` — typed descriptors (:class:`IntRange`,
+  :class:`FloatRange`, :class:`Categorical`), derived parameters
+  (:class:`Derived` — mesh geometry is computed, never hand-listed),
+  and validity :class:`Constraint`\\ s;
+* :mod:`repro.space.space` — :class:`ConfigSpace` composition: grid
+  enumeration, seeded sampling, mutation, and :class:`SpacePoint`\\ s
+  with canonical-JSON fingerprints that materialize real, validated
+  :class:`~repro.accel.config.AcceleratorConfig`\\ s;
+* :mod:`repro.space.hardware` — the default space, the Table VI rows as
+  named points (bit-identical to the seed literals — cache keys and
+  reports — proven by the identity suite), and :func:`resolve_config`,
+  the single configuration-name resolver every consumer shares.
+
+Spaces are registered by name for the CLI (``repro dse --space NAME``);
+unknown names raise :class:`UnknownSpaceError` listing the valid ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.space.hardware import (
+    TABLE6_POINT_VALUES,
+    config_names,
+    default_space,
+    get_default_space,
+    mesh_columns,
+    named_configs,
+    resolve_config,
+    table6_point,
+)
+from repro.space.params import (
+    Categorical,
+    Constraint,
+    Derived,
+    FloatRange,
+    IntRange,
+    Parameter,
+)
+from repro.space.space import ConfigSpace, SpacePoint, UnknownPointError
+
+
+class UnknownSpaceError(KeyError):
+    """Raised for a space name that is not registered."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        super().__init__(
+            f"unknown parameter space {name!r}; "
+            f"valid: {', '.join(space_names())}"
+        )
+
+
+#: Registered space factories, by CLI name.
+_SPACES: dict[str, Callable[[], ConfigSpace]] = {
+    "default": get_default_space,
+}
+
+
+def register_space(name: str, factory: Callable[[], ConfigSpace]) -> None:
+    """Register ``factory`` under ``name`` (re-registration is an error)."""
+    if name in _SPACES:
+        raise ValueError(f"parameter space {name!r} is already registered")
+    _SPACES[name] = factory
+
+
+def space_names() -> tuple[str, ...]:
+    """Registered space names, registration order."""
+    return tuple(_SPACES)
+
+
+def resolve_space(name: str) -> ConfigSpace:
+    """The registered space instance, or :class:`UnknownSpaceError`."""
+    if name not in _SPACES:
+        raise UnknownSpaceError(name)
+    return _SPACES[name]()
+
+
+__all__ = [
+    "Categorical",
+    "ConfigSpace",
+    "Constraint",
+    "Derived",
+    "FloatRange",
+    "IntRange",
+    "Parameter",
+    "SpacePoint",
+    "TABLE6_POINT_VALUES",
+    "UnknownPointError",
+    "UnknownSpaceError",
+    "config_names",
+    "default_space",
+    "get_default_space",
+    "mesh_columns",
+    "named_configs",
+    "register_space",
+    "resolve_config",
+    "resolve_space",
+    "space_names",
+    "table6_point",
+]

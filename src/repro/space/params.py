@@ -1,0 +1,156 @@
+"""Typed parameter descriptors for hardware design spaces.
+
+A :class:`~repro.space.space.ConfigSpace` is composed from these
+descriptors.  Three kinds are *searchable* — :class:`IntRange`,
+:class:`FloatRange`, and :class:`Categorical` — and expose the same
+small surface: a finite, ordered ``values()`` grid (search drivers only
+ever propose values from it, which keeps every point fingerprintable and
+cacheable), seeded ``sample()``, and a ``neighbors()`` relation the
+evolutionary driver mutates along.
+
+:class:`Derived` parameters are *computed* from the searchable values at
+materialization time — mesh geometry is the canonical case: tile and
+memory coordinates are generated from (tiles_per_row, mem_per_row, rows)
+so every proposed point places its nodes validly inside the mesh instead
+of hand-listing coordinate tuples.  :class:`Constraint` predicates
+reject searchable combinations that do not describe a buildable machine
+before anything is materialized or simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+
+class Parameter:
+    """Shared behaviour of the searchable descriptors.
+
+    Subclasses define :meth:`values` — the finite, ordered domain — and
+    inherit membership checks, seeded sampling, and the neighbourhood
+    relation used for evolutionary mutation (adjacent grid values).
+    """
+
+    name: str
+
+    def values(self) -> tuple[Any, ...]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self.values()
+
+    def sample(self, rng) -> Any:
+        """One uniformly-drawn value from the grid (``rng`` is a seeded
+        :class:`random.Random`; determinism is the caller's contract)."""
+        values = self.values()
+        return values[rng.randrange(len(values))]
+
+    def neighbors(self, value: Any) -> tuple[Any, ...]:
+        """The grid values adjacent to ``value`` (1 or 2 of them)."""
+        values = self.values()
+        try:
+            index = values.index(value)
+        except ValueError:
+            raise ValueError(
+                f"{value!r} is not a grid value of parameter "
+                f"{self.name!r}; valid: {values}"
+            ) from None
+        return tuple(
+            values[j]
+            for j in (index - 1, index + 1)
+            if 0 <= j < len(values)
+        )
+
+
+@dataclass(frozen=True)
+class IntRange(Parameter):
+    """An inclusive integer range with a stride: ``lo, lo+step, .. hi``."""
+
+    name: str
+    lo: int
+    hi: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"{self.name}: lo {self.lo} > hi {self.hi}")
+        if self.step < 1:
+            raise ValueError(f"{self.name}: step must be >= 1")
+
+    def values(self) -> tuple[int, ...]:
+        return tuple(range(self.lo, self.hi + 1, self.step))
+
+
+@dataclass(frozen=True)
+class FloatRange(Parameter):
+    """``steps`` evenly-spaced float values across ``[lo, hi]``.
+
+    Discretized on purpose: a finite grid keeps points deduplicable,
+    fingerprintable, and byte-identical across runs — continuous floats
+    would make none of that hold.
+    """
+
+    name: str
+    lo: float
+    hi: float
+    steps: int = 2
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"{self.name}: lo {self.lo} > hi {self.hi}")
+        if self.steps < 1 or (self.steps < 2 and self.lo != self.hi):
+            raise ValueError(f"{self.name}: need >= 2 steps for a span")
+
+    def values(self) -> tuple[float, ...]:
+        if self.lo == self.hi:
+            return (self.lo,)
+        span = self.hi - self.lo
+        return tuple(
+            self.lo + span * i / (self.steps - 1) for i in range(self.steps)
+        )
+
+
+@dataclass(frozen=True)
+class Categorical(Parameter):
+    """An explicit tuple of choices, in declaration order."""
+
+    name: str
+    choices: tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise ValueError(f"{self.name}: need at least one choice")
+        if len(set(self.choices)) != len(self.choices):
+            raise ValueError(f"{self.name}: duplicate choices")
+
+    def values(self) -> tuple[Any, ...]:
+        return self.choices
+
+
+@dataclass(frozen=True)
+class Derived:
+    """A value computed from the searchable values at materialization.
+
+    ``fn`` receives the mapping of every searchable value plus any
+    previously-computed derived value (declaration order), and returns
+    this parameter's value.  Derived parameters are never searched and
+    never fingerprinted — they are a pure function of the searchable
+    point, so the searchable values alone identify it.
+    """
+
+    name: str
+    fn: Callable[[Mapping[str, Any]], Any]
+
+    def compute(self, values: Mapping[str, Any]) -> Any:
+        return self.fn(values)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """A named validity predicate over the searchable values."""
+
+    name: str
+    predicate: Callable[[Mapping[str, Any]], bool]
+
+    def holds(self, values: Mapping[str, Any]) -> bool:
+        return bool(self.predicate(values))

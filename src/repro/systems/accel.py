@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.accel.config import AcceleratorConfig, configuration_by_name
+from repro.accel.config import AcceleratorConfig
+from repro.space import resolve_config
 from repro.systems.base import ExecutionPlan, SystemReport, Workload
 from repro.systems.registry import SystemOptions
 
@@ -33,7 +34,7 @@ class AcceleratorSystem:
     name = "accel"
 
     def __init__(self, options: SystemOptions = SystemOptions()) -> None:
-        config = configuration_by_name(
+        config = resolve_config(
             options.config_name or DEFAULT_CONFIG_NAME
         )
         config = config.with_clock(options.clock_ghz or DEFAULT_CLOCK_GHZ)

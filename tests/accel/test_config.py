@@ -128,6 +128,53 @@ class TestAcceleratorConfig:
                 tile_coords=(), memory_coords=((1, 0),),
             )
 
+    def test_empty_memory_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                name="bad", mesh_width=2, mesh_height=1,
+                tile_coords=((0, 0),), memory_coords=(),
+            )
+
+    def test_out_of_mesh_tile_coordinate_rejected(self):
+        # The memory-coord twin exists above; tiles validate too.
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                name="bad", mesh_width=2, mesh_height=1,
+                tile_coords=((0, 1),), memory_coords=((1, 0),),
+            )
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                name="bad", mesh_width=2, mesh_height=1,
+                tile_coords=((-1, 0),), memory_coords=((1, 0),),
+            )
+
+    def test_duplicate_within_tile_coords_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(
+                name="bad", mesh_width=3, mesh_height=1,
+                tile_coords=((0, 0), (0, 0)), memory_coords=((2, 0),),
+            )
+
+    def test_with_noc_backend_preserves_everything_else(self):
+        switched = CPU_ISO_BW.with_noc_backend("analytical")
+        assert switched.noc_backend == "analytical"
+        assert switched.name == CPU_ISO_BW.name
+        assert switched.tile_coords == CPU_ISO_BW.tile_coords
+        assert switched.clock_ghz == CPU_ISO_BW.clock_ghz
+
+    def test_with_noc_backend_rejects_unknown_names(self):
+        from repro.noc.backends import UnknownBackendError
+
+        with pytest.raises(UnknownBackendError):
+            CPU_ISO_BW.with_noc_backend("booksim")
+
+    def test_with_fast_forward_preserves_everything_else(self):
+        fast = CPU_ISO_BW.with_fast_forward()
+        assert fast.fast_forward is True
+        assert fast.with_fast_forward(False).fast_forward is False
+        assert fast.name == CPU_ISO_BW.name
+        assert fast.memory == CPU_ISO_BW.memory
+
     def test_noc_runs_at_fixed_2p4_ghz(self):
         # Section VI-B: the clock sweep keeps NoC bandwidth identical.
         assert CPU_ISO_BW.noc.clock_ghz == 2.4

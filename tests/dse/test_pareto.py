@@ -1,0 +1,94 @@
+"""Tests for Pareto dominance, frontiers, and the hypervolume proxy."""
+
+import pytest
+
+from repro.dse import (
+    OBJECTIVES,
+    dominates,
+    hypervolume_proxy,
+    objective_bounds,
+    pareto_frontier,
+)
+
+
+class TestDominance:
+    def test_strictly_better_everywhere_dominates(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+
+    def test_better_somewhere_equal_elsewhere_dominates(self):
+        assert dominates((1, 2, 2), (2, 2, 2))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1, 1, 1), (1, 1, 1))
+
+    def test_tradeoff_points_do_not_dominate_each_other(self):
+        assert not dominates((1, 3, 1), (3, 1, 1))
+        assert not dominates((3, 1, 1), (1, 3, 1))
+
+
+class TestFrontier:
+    def test_dominated_points_filtered(self):
+        front = pareto_frontier([(1, 1, 1), (2, 2, 2), (1, 2, 3)])
+        assert front == [(1.0, 1.0, 1.0)]
+
+    def test_tradeoffs_all_survive_sorted(self):
+        points = [(3, 1, 1), (1, 3, 1), (2, 2, 2), (1, 1, 3)]
+        front = pareto_frontier(points)
+        assert front == sorted(
+            [(1, 1, 3), (1, 3, 1), (2, 2, 2), (3, 1, 1)]
+        )
+
+    def test_duplicates_collapse(self):
+        assert pareto_frontier([(1, 1, 1), (1, 1, 1)]) == [(1, 1, 1)]
+
+    def test_order_independent(self):
+        points = [(3, 1, 1), (1, 3, 1), (2, 2, 2)]
+        assert pareto_frontier(points) == pareto_frontier(points[::-1])
+
+    def test_empty(self):
+        assert pareto_frontier([]) == []
+
+
+class TestBounds:
+    def test_per_objective_min_max(self):
+        assert objective_bounds([(1, 5, 3), (2, 4, 9)]) == [
+            (1, 2), (4, 5), (3, 9),
+        ]
+
+    def test_empty_gives_unit_box(self):
+        assert objective_bounds([]) == [(0.0, 1.0)] * len(OBJECTIVES)
+
+
+class TestHypervolumeProxy:
+    BOUNDS = [(0.0, 1.0)] * 3
+
+    def test_empty_frontier_scores_zero(self):
+        assert hypervolume_proxy([], self.BOUNDS) == 0.0
+
+    def test_ideal_point_covers_the_whole_box(self):
+        assert hypervolume_proxy([(0.0, 0.0, 0.0)], self.BOUNDS) == 1.0
+
+    def test_deterministic_for_fixed_seed(self):
+        front = [(0.4, 0.2, 0.7), (0.1, 0.9, 0.3)]
+        assert hypervolume_proxy(front, self.BOUNDS) == hypervolume_proxy(
+            front, self.BOUNDS
+        )
+
+    def test_monotone_in_the_frontier(self):
+        """The property the evolutionary non-worsening check rests on:
+        adding points (under fixed bounds) never lowers the score."""
+        small = [(0.5, 0.5, 0.5)]
+        large = small + [(0.2, 0.8, 0.4), (0.9, 0.1, 0.6)]
+        assert hypervolume_proxy(
+            pareto_frontier(large), self.BOUNDS
+        ) >= hypervolume_proxy(pareto_frontier(small), self.BOUNDS)
+
+    def test_better_point_scores_higher(self):
+        worse = hypervolume_proxy([(0.8, 0.8, 0.8)], self.BOUNDS)
+        better = hypervolume_proxy([(0.1, 0.1, 0.1)], self.BOUNDS)
+        assert better > worse > 0.0
+
+    def test_midpoint_octant_estimate(self):
+        # One point at the box centre dominates ~1/8 of it.
+        score = hypervolume_proxy([(0.5, 0.5, 0.5)], self.BOUNDS)
+        assert score == pytest.approx(0.125, abs=0.02)

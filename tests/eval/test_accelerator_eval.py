@@ -112,21 +112,23 @@ class TestConfigContentKeying:
         # configuration, so replacing a registry entry (as
         # examples/design_sweeps.py encourages) silently returned the old
         # report.  Keys are content hashes of the resolved config now.
+        # Name resolution lives in repro.space since the parameter-space
+        # refactor, so the mutation targets its named-config registry.
         import dataclasses
 
-        from repro.accel import config as accel_config
-        from repro.accel.config import CPU_ISO_BW
+        from repro.space import hardware
 
+        cpu_iso_bw = hardware.resolve_config("CPU iso-BW")
         baseline = run_benchmark("gcn-cora", "CPU iso-BW", 2.4)
         starved = dataclasses.replace(
-            CPU_ISO_BW,
+            cpu_iso_bw,
             memory=dataclasses.replace(
-                CPU_ISO_BW.memory, bandwidth_gbps=17.0
+                cpu_iso_bw.memory, bandwidth_gbps=17.0
             ),
         )
         assert starved.name == "CPU iso-BW"  # same name, different hardware
         monkeypatch.setitem(
-            accel_config.CONFIGURATIONS_BY_NAME, "CPU iso-BW", starved
+            hardware._named_configs(), "CPU iso-BW", starved
         )
         report = run_benchmark("gcn-cora", "CPU iso-BW", 2.4)
         assert report is not baseline

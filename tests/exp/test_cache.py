@@ -124,6 +124,25 @@ class TestPointKey:
         assert getattr(varied, field) != getattr(base, field)
         assert point_key("gcn-cora", varied) != point_key("gcn-cora", base)
 
+    def test_space_derived_configs_key_by_contents(self):
+        # Space-derived points (repro.space) enter the cache by the same
+        # contents-based fingerprint as the literals: the named Table VI
+        # points reproduce the historical keys bit-for-bit, while an
+        # anonymous DSE point with the same searchable values carries a
+        # content-derived dse-... name and therefore its own entry —
+        # anonymous search results can never shadow a named row's report.
+        from repro.space import get_default_space, resolve_config
+
+        space = get_default_space()
+        assert point_key("gcn-cora", resolve_config("GPU iso-BW")) == (
+            point_key("gcn-cora", GPU_ISO_BW)
+        )
+        anonymous = space.point(space.named_values["GPU iso-BW"])
+        assert anonymous.config_name.startswith("dse-")
+        assert point_key("gcn-cora", anonymous.config()) != point_key(
+            "gcn-cora", GPU_ISO_BW
+        )
+
     def test_clock_sweep_points_are_distinct(self):
         keys = {
             point_key("gcn-cora", CPU_ISO_BW.with_clock(clock))

@@ -1,0 +1,89 @@
+"""Tests for the typed parameter descriptors."""
+
+import random
+
+import pytest
+
+from repro.space import Categorical, Constraint, Derived, FloatRange, IntRange
+
+
+class TestIntRange:
+    def test_inclusive_grid(self):
+        assert IntRange("n", 1, 4).values() == (1, 2, 3, 4)
+
+    def test_stride(self):
+        assert IntRange("n", 0, 10, step=4).values() == (0, 4, 8)
+
+    def test_membership(self):
+        param = IntRange("n", 1, 4)
+        assert 2 in param
+        assert 5 not in param
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            IntRange("n", 4, 1)
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            IntRange("n", 1, 4, step=0)
+
+    def test_neighbors_are_adjacent_grid_values(self):
+        param = IntRange("n", 1, 4)
+        assert param.neighbors(1) == (2,)
+        assert param.neighbors(2) == (1, 3)
+        assert param.neighbors(4) == (3,)
+
+    def test_off_grid_neighbor_query_rejected(self):
+        with pytest.raises(ValueError, match="not a grid value"):
+            IntRange("n", 1, 4).neighbors(9)
+
+    def test_sample_is_seeded_and_on_grid(self):
+        param = IntRange("n", 1, 100)
+        a = [param.sample(random.Random(7)) for _ in range(5)]
+        b = [param.sample(random.Random(7)) for _ in range(5)]
+        assert a == b
+        assert all(v in param for v in a)
+
+
+class TestFloatRange:
+    def test_evenly_spaced(self):
+        assert FloatRange("f", 0.0, 1.0, steps=3).values() == (0.0, 0.5, 1.0)
+
+    def test_degenerate_span_is_single_value(self):
+        assert FloatRange("f", 2.0, 2.0, steps=1).values() == (2.0,)
+
+    def test_span_needs_two_steps(self):
+        with pytest.raises(ValueError):
+            FloatRange("f", 0.0, 1.0, steps=1)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            FloatRange("f", 1.0, 0.0)
+
+
+class TestCategorical:
+    def test_choices_in_declaration_order(self):
+        assert Categorical("c", ("a", "b")).values() == ("a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Categorical("c", ())
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            Categorical("c", ("a", "a"))
+
+    def test_neighbors_walk_the_declaration_order(self):
+        param = Categorical("c", (8, 16, 32))
+        assert param.neighbors(16) == (8, 32)
+
+
+class TestDerivedAndConstraint:
+    def test_derived_computes_from_values(self):
+        width = Derived("width", lambda v: v["t"] + v["m"])
+        assert width.compute({"t": 2, "m": 1}) == 3
+
+    def test_constraint_holds(self):
+        c = Constraint("fits", lambda v: v["m"] <= v["t"])
+        assert c.holds({"t": 2, "m": 1})
+        assert not c.holds({"t": 1, "m": 2})

@@ -509,6 +509,7 @@ class TestUnknownNameContract:
         ["sweep", "--benchmarks", "bert-wikipedia"],
         ["serve-sim", "bert-wikipedia"],
         ["partition-sweep", "bert-wikipedia"],
+        ["dse", "bert-wikipedia"],
     ])
     def test_unknown_benchmark_exits_2_everywhere(self, argv, capsys):
         assert main(argv) == 2
@@ -551,6 +552,35 @@ class TestUnknownNameContract:
         assert "kaffpa" in err
         assert "metis" in err  # lists the valid names
 
+    @pytest.mark.parametrize("argv", [
+        ["simulate", "gcn-cora", "--config", "TPU iso-BW"],
+        ["compare", "gcn-cora", "--config", "TPU iso-BW"],
+        ["partition-sweep", "gcn-cora", "--config", "TPU iso-BW"],
+        ["sweep", "--configs", "TPU iso-BW"],
+        ["sweep", "--configs", "CPU iso-BW", "TPU iso-BW"],
+    ])
+    def test_unknown_config_exits_2_everywhere(self, argv, capsys):
+        # Config names resolve through repro.space.resolve_config — the
+        # same single resolver — so the sweep's historical bespoke
+        # validator and the one-config commands now share one message.
+        assert main(argv) == 2
+        err = capsys.readouterr().err
+        assert "TPU iso-BW" in err
+        assert "CPU iso-BW" in err  # lists the valid names
+        assert "GPU iso-FLOPS" in err
+
+    def test_unknown_dse_space_exits_2(self, capsys):
+        assert main(["dse", "gcn-cora", "--space", "hyper"]) == 2
+        err = capsys.readouterr().err
+        assert "hyper" in err
+        assert "default" in err  # lists the valid names
+
+    def test_unknown_dse_driver_exits_2(self, capsys):
+        assert main(["dse", "gcn-cora", "--driver", "annealing"]) == 2
+        err = capsys.readouterr().err
+        assert "annealing" in err
+        assert "evolutionary" in err  # lists the valid names
+
     def test_every_benchmark_taking_subcommand_is_covered(self, capsys):
         """Introspect the argparse tree so *future* subcommands inherit
         the contract automatically: every subcommand with a benchmark
@@ -583,7 +613,7 @@ class TestUnknownNameContract:
                 break
         # The known name-taking subcommands must all have been walked.
         assert {"simulate", "profile", "compare", "sweep", "serve-sim",
-                "partition-sweep"} <= set(covered)
+                "partition-sweep", "dse"} <= set(covered)
 
 
 class TestPartitionSweepCommand:
